@@ -1,0 +1,54 @@
+"""Simulator throughput micro-benchmarks (DESIGN.md §5: the event-driven
+design is what makes pure-Python figure sweeps tractable).
+
+Unlike the experiment benchmarks these use normal pytest-benchmark rounds,
+since they are genuine micro-benchmarks.
+"""
+
+from repro import GPU
+from repro.harness import scaled_config
+from repro.workloads import SUITE
+
+
+def test_engine_event_throughput(benchmark):
+    from repro.sim.engine import Engine
+
+    def churn():
+        eng = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                eng.schedule(1, tick)
+
+        eng.schedule(0, tick)
+        eng.run()
+        return count
+
+    assert benchmark(churn) == 20_000
+
+
+def test_sim_cycles_per_second_light(benchmark):
+    """Compute-bound workload: SM virtual-time dominates."""
+    cfg = scaled_config()
+
+    def run():
+        gpu = GPU(cfg, [SUITE["QR"], SUITE["CT"]])
+        gpu.run(30_000)
+        return gpu.engine.now
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 30_000
+
+
+def test_sim_cycles_per_second_saturated(benchmark):
+    """Bandwidth-saturated workload: DRAM controller dominates."""
+    cfg = scaled_config()
+
+    def run():
+        gpu = GPU(cfg, [SUITE["SD"], SUITE["SB"]])
+        gpu.run(30_000)
+        return gpu.engine.now
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == 30_000

@@ -1,0 +1,18 @@
+"""Fig. 3 — performance is proportional to the memory request service rate."""
+
+from repro.harness.experiments import fig3_service_rate
+from repro.harness.persist import save_result
+from repro.harness.report import render_fig3
+
+
+def test_fig3_performance_vs_service_rate(once):
+    res = once(fig3_service_rate)
+    save_result("fig3_service_rate", res)
+    print()
+    print(render_fig3(res))
+    # The paper's observation: for a memory-intensive kernel, performance
+    # is directly proportional to the request service rate.
+    assert res.correlation > 0.98
+    # And monotone (within noise — saturated sweep points nearly tie).
+    pts = sorted(res.points)
+    assert all(a[1] <= b[1] * 1.03 for a, b in zip(pts, pts[1:]))

@@ -1,0 +1,32 @@
+"""Fig. 5 — slowdown estimation accuracy across two-application workloads.
+
+Paper: DASE 8.8%, MISE 36.3%, ASM 32.8% mean error.  The reproduction
+asserts the *shape*: DASE beats both CPU baselines by a wide margin.
+At ``REPRO_FULL=1`` this sweeps all 105 pairs; otherwise a representative
+10-pair subset (DESIGN.md §4).
+"""
+
+from repro.harness.experiments import fig5_two_app_accuracy
+from repro.harness.persist import save_result
+from repro.harness.report import render_accuracy
+
+
+def test_fig5_two_app_estimation_accuracy(once):
+    res = once(fig5_two_app_accuracy)
+    save_result("fig5_two_app_error", {
+        "per_workload": res.per_workload,
+        "means": {m: res.mean_error(m) for m in res.errors},
+    })
+    print()
+    print(render_accuracy(res, "Fig 5 — two-application estimation error"))
+    dase = res.mean_error("DASE")
+    mise = res.mean_error("MISE")
+    asm = res.mean_error("ASM")
+    print(f"\npaper: DASE 8.8%  MISE 36.3%  ASM 32.8%")
+    # Headline claim: DASE is dramatically more accurate.
+    assert dase < 0.15, f"DASE error {dase:.1%} exceeds 15%"
+    assert dase < mise / 2
+    assert dase < asm / 2
+    # The baselines are substantially wrong on GPUs.
+    assert mise > 0.2
+    assert asm > 0.2

@@ -1,0 +1,28 @@
+"""Fig. 8 — DASE accuracy is robust to the SM allocation and the SM count."""
+
+from repro.harness.experiments import (
+    fig8a_sm_allocation_sensitivity,
+    fig8b_sm_count_sensitivity,
+)
+from repro.harness.persist import save_result
+from repro.harness.report import render_sensitivity
+
+
+def test_fig8a_sm_allocation_sensitivity(once):
+    res = once(fig8a_sm_allocation_sensitivity)
+    save_result("fig8a_split_sensitivity", res)
+    print()
+    print(render_sensitivity(res, "Fig 8a — error vs launch-time SM split"))
+    for label, err in res.dase_errors.items():
+        assert err < 0.25, f"split {label}: DASE error {err:.1%}"
+    spread = max(res.dase_errors.values()) - min(res.dase_errors.values())
+    assert spread < 0.15, f"error varies too much across splits ({spread:.1%})"
+
+
+def test_fig8b_sm_count_sensitivity(once):
+    res = once(fig8b_sm_count_sensitivity)
+    save_result("fig8b_count_sensitivity", res)
+    print()
+    print(render_sensitivity(res, "Fig 8b — error vs GPU SM count"))
+    for label, err in res.dase_errors.items():
+        assert err < 0.25, f"{label}: DASE error {err:.1%}"

@@ -1,0 +1,20 @@
+"""Table 1 — DASE hardware cost (<0.625% of a 64 KB L2 slice at N=4)."""
+
+from repro.config import GPUConfig
+from repro.harness.report import table
+from repro.hwcost import dase_hardware_cost, table1_rows
+
+
+def test_table1_hardware_cost(once):
+    cfg = GPUConfig()
+    cost = once(dase_hardware_cost, cfg, 4)
+    print()
+    print("Table 1 — major hardware cost for DASE:")
+    print(table(["component", "cost"], table1_rows(cfg, 4)))
+    print(f"\nPer memory partition (N=4): {cost.per_partition_bytes:.0f} B"
+          f" = {100 * cost.fraction_of_l2():.3f}% of a 64 KB L2 slice"
+          " (paper: < 0.625%)")
+    # Paper's claim: less than 0.4 KB per partition, under 0.625% of 64 KB.
+    assert cost.per_partition_bytes < 0.4 * 1024
+    assert cost.fraction_of_l2() < 0.00625
+    assert cost.per_sm_bits == 32

@@ -1,0 +1,39 @@
+"""Table 3 — per-application DRAM bandwidth utilization running alone."""
+
+from repro import GPU
+from repro.harness import default_shared_cycles, scaled_config
+from repro.harness.persist import save_result
+from repro.harness.report import pct, table
+from repro.workloads import SUITE, TABLE3_BW_UTILIZATION
+
+
+def measure_all() -> dict[str, float]:
+    cfg = scaled_config()
+    cycles = max(60_000, default_shared_cycles() // 4)
+    out = {}
+    for name, spec in SUITE.items():
+        gpu = GPU(cfg, [spec])
+        gpu.run(cycles)
+        out[name] = gpu.bandwidth_utilization(0)
+    return out
+
+
+def test_table3_bandwidth_utilization(once):
+    measured = once(measure_all)
+    save_result("table3_bw_utilization", {
+        "paper": TABLE3_BW_UTILIZATION, "measured": measured,
+    })
+    rows = []
+    worst = 0.0
+    for name, bw in measured.items():
+        target = TABLE3_BW_UTILIZATION[name]
+        rows.append([name, pct(target), pct(bw), f"{bw - target:+.2f}"])
+        worst = max(worst, abs(bw - target))
+    print()
+    print("Table 3 — alone DRAM bandwidth utilization:")
+    print(table(["app", "paper", "measured", "diff"], rows))
+    # Calibration contract: every app within 8 percentage points.
+    assert worst <= 0.08, f"worst deviation {worst:.2f}"
+    # And the suite must preserve the paper's intensity ordering extremes.
+    assert measured["SB"] == max(measured.values())
+    assert measured["QR"] <= min(v for k, v in measured.items() if k != "QR") + 0.05

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Run-Time Performance Estimation and
+Fairness-Oriented Scheduling Policy for Concurrent GPGPU Applications"
+(Hu, Shu, Fan, Lu — ICPP 2016).
+
+Public API tour:
+
+* :class:`GPUConfig` — the simulated architecture (paper Table 2 defaults).
+* :class:`KernelSpec` / :data:`repro.workloads.SUITE` — synthetic kernels
+  standing in for the paper's 15 benchmark applications.
+* :class:`GPU` — the cycle-level simulator substrate.
+* :class:`DASE`, :class:`MISE`, :class:`ASM` — slowdown estimators
+  (:mod:`repro.core`).
+* :class:`DASEFairPolicy` / :class:`EvenPolicy` — SM allocation policies
+  (:mod:`repro.policies`).
+* :mod:`repro.harness` — the paper's matched-instruction evaluation
+  methodology and one driver per figure/table.
+"""
+
+from repro.config import BASELINE, CacheConfig, DRAMTimings, GPUConfig
+from repro.metrics import (
+    error_distribution,
+    estimation_error,
+    harmonic_speedup,
+    slowdown,
+    unfairness,
+)
+from repro.sim import GPU, AccessPattern, KernelSpec, LaunchedKernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "CacheConfig",
+    "DRAMTimings",
+    "GPUConfig",
+    "GPU",
+    "KernelSpec",
+    "LaunchedKernel",
+    "AccessPattern",
+    "slowdown",
+    "unfairness",
+    "harmonic_speedup",
+    "estimation_error",
+    "error_distribution",
+]

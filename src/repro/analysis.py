@@ -1,0 +1,122 @@
+"""Post-hoc analysis over saved experiment artifacts.
+
+After ``pytest benchmarks/ --benchmark-only`` populates ``results/*.json``
+(see :mod:`repro.harness.persist`), these helpers assemble the
+paper-vs-measured summary — the table EXPERIMENTS.md is written from —
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.harness.persist import load_result
+
+#: Paper headline numbers each artifact is compared against.
+PAPER_REFERENCE: dict[str, dict[str, float]] = {
+    "fig5_two_app_error": {"DASE": 0.088, "MISE": 0.363, "ASM": 0.328},
+    "fig6_four_app_error": {"DASE": 0.114, "MISE": 0.626, "ASM": 0.58},
+}
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    experiment: str
+    quantity: str
+    paper: str
+    measured: str
+    verdict: str  # "shape-ok" / "check"
+
+
+def _fmt(v: float) -> str:
+    return f"{100 * v:.1f}%"
+
+
+def available_results(directory: str | os.PathLike | None = None) -> list[str]:
+    """Names of saved artifacts in the results directory."""
+    d = pathlib.Path(directory or os.environ.get("REPRO_RESULTS_DIR", "results"))
+    if not d.is_dir():
+        return []
+    return sorted(p.stem for p in d.glob("*.json"))
+
+
+def summarize_accuracy(
+    name: str, directory: str | os.PathLike | None = None
+) -> list[SummaryRow]:
+    """Rows for a Fig-5/6 style accuracy artifact."""
+    data = load_result(name, directory)
+    paper = PAPER_REFERENCE.get(name, {})
+    rows = []
+    means = data.get("means", {})
+    dase = means.get("DASE")
+    for model, err in sorted(means.items()):
+        ref = paper.get(model)
+        verdict = "shape-ok"
+        if model != "DASE" and dase is not None and err <= 2 * dase:
+            verdict = "check"  # a baseline nearly matching DASE is suspicious
+        if model == "DASE" and err > 0.2:
+            verdict = "check"
+        rows.append(
+            SummaryRow(
+                experiment=name,
+                quantity=f"{model} mean error",
+                paper=_fmt(ref) if ref is not None else "—",
+                measured=_fmt(err),
+                verdict=verdict,
+            )
+        )
+    return rows
+
+
+def summarize_fig9(
+    directory: str | os.PathLike | None = None,
+) -> list[SummaryRow]:
+    data = load_result("fig9_dase_fair", directory)
+    even = data["unfairness_even"]
+    fair = data["unfairness_fair"]
+    gains = [1 - fair[k] / even[k] for k in even]
+    mean_gain = sum(gains) / len(gains)
+    hsp_e, hsp_f = data["hspeedup_even"], data["hspeedup_fair"]
+    hsp_gain = sum(hsp_f[k] / hsp_e[k] - 1 for k in hsp_e) / len(hsp_e)
+    return [
+        SummaryRow("fig9_dase_fair", "unfairness improvement", ">16.1%",
+                   _fmt(mean_gain), "shape-ok" if mean_gain > 0 else "check"),
+        SummaryRow("fig9_dase_fair", "H-speedup improvement", ">3.7%",
+                   _fmt(hsp_gain), "shape-ok" if hsp_gain > -0.05 else "check"),
+    ]
+
+
+def full_summary(directory: str | os.PathLike | None = None) -> list[SummaryRow]:
+    """All rows derivable from whatever artifacts exist."""
+    rows: list[SummaryRow] = []
+    names = set(available_results(directory))
+    for name in ("fig5_two_app_error", "fig6_four_app_error"):
+        if name in names:
+            rows.extend(summarize_accuracy(name, directory))
+    if "fig9_dase_fair" in names:
+        rows.extend(summarize_fig9(directory))
+    if "fig2_unfairness" in names:
+        data = load_result("fig2_unfairness", directory)
+        worst_key = max(data["unfairness"], key=data["unfairness"].get)
+        worst = data["unfairness"][worst_key]
+        rows.append(
+            SummaryRow("fig2_unfairness", f"worst unfairness ({worst_key})",
+                       "2.51 (SD pair)", f"{worst:.2f}",
+                       "shape-ok" if worst > 1.8 else "check")
+        )
+    return rows
+
+
+def render_summary(rows: list[SummaryRow]) -> str:
+    from repro.harness.report import table
+
+    if not rows:
+        return ("no artifacts found — run "
+                "`pytest benchmarks/ --benchmark-only` first")
+    return table(
+        ["experiment", "quantity", "paper", "measured", "verdict"],
+        [[r.experiment, r.quantity, r.paper, r.measured, r.verdict]
+         for r in rows],
+    )

@@ -1,0 +1,184 @@
+"""Command-line interface: run any paper experiment by name.
+
+    python -m repro list
+    python -m repro table3
+    python -m repro fig5 --limit 4
+    python -m repro run SD SB --cycles 120000
+    REPRO_FULL=1 python -m repro fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list(args) -> int:
+    rows = [
+        ("table1", "DASE hardware cost"),
+        ("table3", "alone DRAM bandwidth utilization of the suite"),
+        ("fig2", "unfairness + bandwidth decomposition (motivation)"),
+        ("fig3", "performance vs request service rate"),
+        ("fig4", "MBB served-request conservation"),
+        ("fig5", "two-app estimation accuracy (DASE vs MISE vs ASM)"),
+        ("fig6", "four-app estimation accuracy"),
+        ("fig7", "error distribution"),
+        ("fig8a", "sensitivity to the SM split"),
+        ("fig8b", "sensitivity to the SM count"),
+        ("fig9", "DASE-Fair vs even split"),
+        ("run", "run an arbitrary workload: python -m repro run SD SB"),
+    ]
+    from repro.harness.report import table
+
+    print(table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.config import GPUConfig
+    from repro.harness.report import table
+    from repro.hwcost import dase_hardware_cost, table1_rows
+
+    cfg = GPUConfig()
+    print(table(["component", "cost"], table1_rows(cfg, args.apps)))
+    cost = dase_hardware_cost(cfg, args.apps)
+    print(f"\nper partition: {cost.per_partition_bytes:.0f} B "
+          f"({100 * cost.fraction_of_l2():.3f}% of a 64 KB L2 slice)")
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro import GPU
+    from repro.harness import scaled_config
+    from repro.harness.report import pct, table
+    from repro.workloads import SUITE, TABLE3_BW_UTILIZATION
+
+    cfg = scaled_config()
+    rows = []
+    for name, spec in SUITE.items():
+        gpu = GPU(cfg, [spec])
+        gpu.run(args.cycles or 60_000)
+        bw = gpu.bandwidth_utilization(0)
+        rows.append([name, pct(TABLE3_BW_UTILIZATION[name]), pct(bw)])
+        print(f"  measured {name}", file=sys.stderr)
+    print(table(["app", "paper", "measured"], rows))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from repro.harness import experiments as ex
+    from repro.harness import report as rp
+
+    name = args.experiment
+    if name == "fig2":
+        print(rp.render_fig2(ex.fig2_unfairness()))
+    elif name == "fig3":
+        print(rp.render_fig3(ex.fig3_service_rate()))
+    elif name == "fig4":
+        print(rp.render_fig4(ex.fig4_mbb_requests()))
+    elif name == "fig5":
+        res = ex.fig5_two_app_accuracy(limit=args.limit)
+        print(rp.render_accuracy(res, "Fig 5 — two-application error"))
+    elif name == "fig6":
+        res = ex.fig6_four_app_accuracy(count=args.limit)
+        print(rp.render_accuracy(res, "Fig 6 — four-application error"))
+    elif name == "fig7":
+        two = ex.fig5_two_app_accuracy(limit=args.limit)
+        print(rp.render_distribution(ex.fig7_error_distribution(two)))
+    elif name == "fig8a":
+        print(rp.render_sensitivity(
+            ex.fig8a_sm_allocation_sensitivity(), "Fig 8a — SM split"))
+    elif name == "fig8b":
+        print(rp.render_sensitivity(
+            ex.fig8b_sm_count_sensitivity(), "Fig 8b — SM count"))
+    elif name == "fig9":
+        print(rp.render_fig9(ex.fig9_dase_fair()))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_workload
+    from repro.harness.report import pct, table
+    from repro.workloads import APP_NAMES
+
+    for a in args.apps:
+        if a not in APP_NAMES:
+            raise SystemExit(f"unknown app {a!r}; choose from {APP_NAMES}")
+    models = tuple(args.models.split(",")) if args.models else ()
+    res = run_workload(args.apps, shared_cycles=args.cycles, models=models)
+    rows = []
+    for i, name in enumerate(res.names):
+        row = [name, res.sm_partition[i], f"{res.actual_slowdowns[i]:.2f}"]
+        for m in models:
+            e = res.estimates[m][i]
+            row.append("-" if e is None else f"{e:.2f}")
+        rows.append(row)
+    print(table(["app", "SMs", "actual"] + list(models), rows))
+    print(f"\nunfairness {res.actual_unfairness:.2f}   "
+          f"H-speedup {res.actual_hspeedup:.3f}")
+    for m in models:
+        print(f"{m} mean error: {pct(res.mean_error(m))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="DASE reproduction — run paper experiments from the CLI",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    t1 = sub.add_parser("table1", help="DASE hardware cost")
+    t1.add_argument("--apps", type=int, default=4)
+    t1.set_defaults(func=_cmd_table1)
+
+    t3 = sub.add_parser("table3", help="alone bandwidth of all 15 apps")
+    t3.add_argument("--cycles", type=int, default=None)
+    t3.set_defaults(func=_cmd_table3)
+
+    for fig in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8a", "fig8b", "fig9"):
+        fp = sub.add_parser(fig, help=f"reproduce {fig}")
+        fp.add_argument("--limit", type=int, default=None,
+                        help="limit the number of workloads swept")
+        fp.set_defaults(func=_cmd_fig, experiment=fig)
+
+    rn = sub.add_parser("run", help="run an arbitrary workload")
+    rn.add_argument("apps", nargs="+", help="suite app names, e.g. SD SB")
+    rn.add_argument("--cycles", type=int, default=None)
+    rn.add_argument("--models", default="DASE,MISE,ASM",
+                    help="comma-separated estimators (empty for none)")
+    rn.set_defaults(func=_cmd_run)
+
+    sm = sub.add_parser(
+        "summarize", help="paper-vs-measured summary from results/*.json"
+    )
+    sm.add_argument("--results-dir", default=None)
+    sm.set_defaults(func=_cmd_summarize)
+    return p
+
+
+def _cmd_summarize(args) -> int:
+    from repro.analysis import full_summary, render_summary
+
+    print(render_summary(full_summary(args.results_dir)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    t0 = time.time()
+    rc = args.func(args)
+    print(f"\n[{time.time() - t0:.1f}s]", file=sys.stderr)
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

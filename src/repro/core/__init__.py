@@ -1,0 +1,19 @@
+"""Slowdown estimation models: DASE (the paper's contribution) and the two
+CPU state-of-the-art baselines it compares against, MISE [23] and ASM [22]."""
+
+from repro.core.base import SlowdownEstimator
+from repro.core.classify import is_mbb, request_max
+from repro.core.dase import DASE
+from repro.core.sampling import PriorityRotator
+from repro.core.mise import MISE
+from repro.core.asm import ASM
+
+__all__ = [
+    "SlowdownEstimator",
+    "DASE",
+    "MISE",
+    "ASM",
+    "PriorityRotator",
+    "is_mbb",
+    "request_max",
+]

@@ -1,0 +1,70 @@
+"""Common estimator plumbing.
+
+An estimator attaches to a :class:`~repro.sim.gpu.GPU`, receives one
+:class:`~repro.sim.stats.IntervalRecord` per application at every interval
+boundary (paper: 50K cycles), produces a per-application slowdown estimate
+for that interval, and exposes the run-level estimate as the mean over
+intervals — the paper's "sampled by averaging it over a period of time".
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.stats import IntervalRecord
+
+
+class SlowdownEstimator(abc.ABC):
+    """Base class for run-time slowdown estimators."""
+
+    name: str = "base"
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.gpu: GPU | None = None
+        #: One entry per interval: list of per-app estimates (None = no
+        #: estimate possible this interval, e.g. degenerate counters).
+        self.history: list[list[float | None]] = []
+
+    def attach(self, gpu: GPU) -> None:
+        if self.gpu is not None:
+            raise RuntimeError(f"{self.name} is already attached")
+        self.gpu = gpu
+        gpu.add_interval_listener(self._on_interval)
+
+    def _on_interval(self, records: list[IntervalRecord]) -> None:
+        self.history.append(self.estimate_interval(records))
+
+    @abc.abstractmethod
+    def estimate_interval(
+        self, records: list[IntervalRecord]
+    ) -> list[float | None]:
+        """Per-application slowdown estimates for one interval."""
+
+    def latest(self) -> list[float | None]:
+        """Most recent interval's estimates (empty history → empty list)."""
+        return list(self.history[-1]) if self.history else []
+
+    def mean_estimate(self, app: int, warmup_intervals: int = 1) -> float | None:
+        """Run-level estimate: mean over intervals, skipping warmup.
+
+        Returns None when no interval produced an estimate for ``app``.
+        """
+        vals = [
+            row[app]
+            for row in self.history[warmup_intervals:]
+            if row[app] is not None
+        ]
+        if not vals:
+            vals = [row[app] for row in self.history if row[app] is not None]
+        if not vals:
+            return None
+        return sum(vals) / len(vals)
+
+    def mean_estimates(self, warmup_intervals: int = 1) -> list[float | None]:
+        if not self.history:
+            return []
+        n = len(self.history[0])
+        return [self.mean_estimate(a, warmup_intervals) for a in range(n)]

@@ -1,0 +1,56 @@
+"""MBB / NMBB classification (paper §4.2.3, Eqs. 19-22).
+
+A Memory-Bandwidth-Bound application is one whose performance is limited by
+memory bandwidth even without co-runners.  The paper's run-time test: the
+memory system is saturated (Eq. 19), this application holds at least its
+proportional share of it (Eq. 21), and the application would still saturate
+the memory system if its stall time were converted into served requests
+(Eq. 22).
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.sim.stats import IntervalRecord
+
+
+def request_max(cycles: int, config: GPUConfig) -> float:
+    """Eq. 20: maximum requests the DRAM can serve in ``cycles``.
+
+    ``T_perReq`` is the data-bus time of one request; the whole memory
+    system has ``n_partitions`` buses working in parallel.  The empirical
+    0.6 factor (``config.reqmax_factor``) accounts for bandwidth lost to
+    DRAM timing constraints.
+    """
+    peak = cycles * config.n_partitions / config.time_per_request
+    return peak * config.reqmax_factor
+
+
+def shared_requests(rec: IntervalRecord) -> float:
+    """Eq. 17: served requests minus contention-induced extra misses."""
+    return max(1.0, rec.mem.requests_served - rec.ellc_miss)
+
+
+def is_mbb(
+    rec: IntervalRecord,
+    records: list[IntervalRecord],
+    config: GPUConfig,
+) -> bool:
+    """Classify one application given all applications' interval records."""
+    cycles = rec.cycles
+    if cycles <= 0 or rec.mem.requests_served == 0:
+        return False
+    rmax = request_max(cycles, config)
+    # Eq. 19: total served requests saturate the DRAM.
+    total = sum(r.mem.requests_served for r in records)
+    if total < rmax:
+        return False
+    # Eq. 21: this app consumes at least its proportional share.
+    req_shared = shared_requests(rec)
+    if req_shared / rmax < 1.0 / len(records):
+        return False
+    # Eq. 22: converting stall time into requests would exceed the maximum.
+    alpha = rec.sm.alpha
+    if alpha >= 1.0 - 1e-9:
+        return True
+    return req_shared / (1.0 - alpha) >= rmax

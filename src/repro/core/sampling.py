@@ -1,0 +1,132 @@
+"""Priority-epoch sampling shared by the MISE and ASM baselines.
+
+Both CPU models rest on the premise that giving one application's requests
+the *highest priority* at the memory controller approximates its alone
+behaviour.  The rotator implements that mechanism: it cycles through
+``[priority(app 0)] [no priority] [priority(app 1)] [no priority] …``
+epochs, accumulating per-application served-request and L2-access counts
+separately for "own-priority" time and "no-priority" (shared) time.
+
+Estimators snapshot the monotonic accumulators at interval boundaries and
+difference them, so one rotator can serve several estimators on one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU
+
+
+@dataclass
+class RateAccumulators:
+    """Monotonic per-app accumulators split by epoch kind."""
+
+    prio_time: list[float]
+    prio_requests: list[float]
+    prio_accesses: list[float]  # L2 accesses (hits + misses), for ASM's CAR
+    shared_time: list[float]
+    shared_requests: list[float]
+    shared_accesses: list[float]
+
+    @classmethod
+    def zeros(cls, n: int) -> "RateAccumulators":
+        return cls(*[[0.0] * n for _ in range(6)])
+
+    def snapshot(self) -> "RateAccumulators":
+        return RateAccumulators(**{k: list(v) for k, v in vars(self).items()})
+
+    def delta(self, earlier: "RateAccumulators") -> "RateAccumulators":
+        return RateAccumulators(
+            **{
+                k: [a - b for a, b in zip(getattr(self, k), getattr(earlier, k))]
+                for k in vars(self)
+            }
+        )
+
+
+class PriorityRotator:
+    """Drives the priority epochs and owns the rate accumulators."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        epoch_cycles: int | None = None,
+        gap_ratio: int = 3,
+    ) -> None:
+        """``epoch_cycles``: length of one priority epoch; each is followed
+        by a no-priority gap ``gap_ratio`` times as long (MISE keeps the
+        perturbing priority epochs short relative to normal execution)."""
+        if gap_ratio < 1:
+            raise ValueError("gap_ratio must be >= 1")
+        self.config = config
+        # Default: each app gets priority for 5% of an interval, padded by
+        # longer no-priority gaps used to measure the shared service rate.
+        self.epoch_cycles = epoch_cycles or max(500, config.interval_cycles // 20)
+        self.gap_ratio = gap_ratio
+        self.gpu: GPU | None = None
+        self.acc: RateAccumulators | None = None
+        self._phase = 0  # even: priority epoch; odd: no-priority gap
+        self._req_snap: list[int] = []
+        self._acc_snap: list[int] = []
+
+    def attach(self, gpu: GPU) -> None:
+        if self.gpu is not None:
+            raise RuntimeError("rotator already attached")
+        self.gpu = gpu
+        n = gpu.n_apps
+        self.acc = RateAccumulators.zeros(n)
+        self._req_snap = [0] * n
+        self._acc_snap = [0] * n
+        self._apply_phase()
+        gpu.engine.schedule(self._phase_length(), self._on_epoch_end)
+
+    # ------------------------------------------------------------ internals
+
+    def _phase_length(self) -> int:
+        if self._phase % 2 == 0:
+            return self.epoch_cycles
+        return self.epoch_cycles * self.gap_ratio
+
+    def _current_priority(self) -> int | None:
+        if self._phase % 2 == 1:
+            return None
+        return (self._phase // 2) % self.gpu.n_apps
+
+    def _apply_phase(self) -> None:
+        self.gpu.set_priority_app(self._current_priority())
+
+    def _collect(self) -> tuple[list[int], list[int]]:
+        """Per-app (Δrequests, ΔL2 accesses) since the last epoch boundary."""
+        apps = self.gpu.mem_stats.apps
+        dreq, dacc = [], []
+        for i, a in enumerate(apps):
+            req = a.requests_served
+            acc = a.l2_hits + a.l2_misses
+            dreq.append(req - self._req_snap[i])
+            dacc.append(acc - self._acc_snap[i])
+            self._req_snap[i] = req
+            self._acc_snap[i] = acc
+        return dreq, dacc
+
+    def _on_epoch_end(self) -> None:
+        prio = self._current_priority()
+        dreq, dacc = self._collect()
+        dt = float(self._phase_length())
+        acc = self.acc
+        for i in range(self.gpu.n_apps):
+            if prio is None:
+                acc.shared_time[i] += dt
+                acc.shared_requests[i] += dreq[i]
+                acc.shared_accesses[i] += dacc[i]
+            elif prio == i:
+                acc.prio_time[i] += dt
+                acc.prio_requests[i] += dreq[i]
+                acc.prio_accesses[i] += dacc[i]
+            # Epochs where *another* app has priority measure neither the
+            # alone nor the representative shared behaviour — discarded,
+            # exactly as in MISE.
+        self._phase += 1
+        self._apply_phase()
+        self.gpu.engine.schedule(self._phase_length(), self._on_epoch_end)

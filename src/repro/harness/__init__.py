@@ -1,0 +1,24 @@
+"""Evaluation harness: the paper's matched-instruction methodology
+(§5 'Workloads') and one driver per figure/table (§'experiments')."""
+
+from repro.harness.runner import (
+    WorkloadResult,
+    default_shared_cycles,
+    full_scale,
+    run_workload,
+    scaled_config,
+)
+from repro.harness.persist import load_result, save_result
+from repro.harness.telemetry import Sample, Telemetry
+
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "scaled_config",
+    "default_shared_cycles",
+    "full_scale",
+    "Telemetry",
+    "Sample",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,352 @@
+"""One driver per paper figure/table (see DESIGN.md §4 for the index).
+
+Every driver returns a plain data structure with the same rows/series the
+paper reports, so benchmarks and examples can print or assert on them.
+Cycle budgets honour ``REPRO_FULL`` (see :mod:`repro.harness.runner`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.core import DASE
+from repro.harness.runner import (
+    WorkloadResult,
+    default_shared_cycles,
+    full_scale,
+    run_workload,
+    scaled_config,
+)
+from repro.metrics import error_distribution, mean
+from repro.policies import DASEFairPolicy
+from repro.sim.gpu import GPU, LaunchedKernel
+from repro.sim.kernel import AccessPattern, KernelSpec
+from repro.workloads import SUITE, four_app_workloads, two_app_workloads
+
+#: Default subset of pairs used when a full 105-pair sweep would take too
+#: long; chosen to span victim/aggressor/compute-bound mixes.
+DEFAULT_PAIRS: list[tuple[str, str]] = [
+    ("SD", "SB"), ("SD", "SA"), ("SD", "VA"), ("SD", "QR"), ("BS", "SB"),
+    ("QR", "SB"), ("NN", "VA"), ("CT", "QR"), ("CS", "SC"), ("SN", "SP"),
+]
+
+
+def pair_list(limit: int | None = None) -> list[tuple[str, str]]:
+    """Pairs to sweep: all 105 at full scale, the default subset otherwise."""
+    if full_scale():
+        pairs = two_app_workloads()
+    else:
+        pairs = list(DEFAULT_PAIRS)
+    return pairs[:limit] if limit else pairs
+
+
+# --------------------------------------------------------------------- Fig 2
+
+
+@dataclass
+class Fig2Result:
+    """Unfairness of two-app combos + DRAM bandwidth decomposition."""
+
+    combos: list[tuple[str, str]]
+    unfairness: dict[str, float]  # "SD+SB" → unfairness
+    slowdowns: dict[str, list[float]]
+    breakdown: dict[str, dict[str, float]]  # combo → {app0, app1, wasted, idle}
+    sd_alone_bw: float = 0.0
+
+
+def fig2_unfairness(
+    combos: list[tuple[str, str]] | None = None,
+    config: GPUConfig | None = None,
+    shared_cycles: int | None = None,
+) -> Fig2Result:
+    """Fig. 2: unfairness of SD paired with aggressive co-runners, and the
+    bandwidth decomposition explaining it."""
+    combos = combos or [("SD", "SB"), ("SD", "VA"), ("SD", "SA")]
+    config = config or scaled_config()
+    shared_cycles = shared_cycles or default_shared_cycles()
+    out = Fig2Result(combos=combos, unfairness={}, slowdowns={}, breakdown={})
+    for pair in combos:
+        key = "+".join(pair)
+        res = run_workload(
+            list(pair), config=config, shared_cycles=shared_cycles, models=()
+        )
+        out.unfairness[key] = res.actual_unfairness
+        out.slowdowns[key] = res.actual_slowdowns
+        # Re-run the shared execution to collect the bus decomposition
+        # (cheap relative to the alone replays above).
+        gpu = GPU(config, [
+            LaunchedKernel(SUITE[n], stream_id=i) for i, n in enumerate(pair)
+        ])
+        gpu.run(shared_cycles)
+        bd = gpu.bandwidth_breakdown()
+        out.breakdown[key] = {
+            pair[0]: bd["app0"], pair[1]: bd["app1"],
+            "wasted": bd["wasted"], "idle": bd["idle"],
+        }
+    alone = GPU(config, [SUITE["SD"]])
+    alone.run(shared_cycles // 2)
+    out.sd_alone_bw = alone.bandwidth_utilization(0)
+    return out
+
+
+# --------------------------------------------------------------------- Fig 3
+
+
+@dataclass
+class Fig3Result:
+    """IPC vs memory request service rate for one app at varying intensity."""
+
+    points: list[tuple[float, float]]  # (requests/kcycle, IPC)
+    correlation: float
+
+
+def fig3_service_rate(
+    config: GPUConfig | None = None, cycles: int | None = None
+) -> Fig3Result:
+    """Fig. 3: a memory-intensive kernel's performance is proportional to
+    its request service rate.  We sweep memory intensity and measure both."""
+    config = config or scaled_config()
+    cycles = cycles or max(40_000, default_shared_cycles() // 6)
+    points: list[tuple[float, float]] = []
+    for cpm in (0, 1, 2, 4, 8, 16, 32):
+        spec = KernelSpec(
+            "sweep", compute_per_mem=cpm, pattern=AccessPattern.STREAM,
+            warps_per_block=6, max_resident_blocks=2,
+        )
+        gpu = GPU(config, [spec])
+        gpu.run(cycles)
+        rate = gpu.mem_stats.apps[0].requests_served / cycles * 1000
+        # "Performance" for a memory kernel = memory instructions retired;
+        # measure it as request throughput-normalized IPC of memory ops.
+        mem_ipc = gpu.progress[0].instructions / cycles / (cpm + 1)
+        points.append((rate, mem_ipc))
+    xs, ys = zip(*points)
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in points)
+    vx = sum((x - mx) ** 2 for x in xs) ** 0.5
+    vy = sum((y - my) ** 2 for y in ys) ** 0.5
+    corr = cov / (vx * vy) if vx > 0 and vy > 0 else 0.0
+    return Fig3Result(points=points, correlation=corr)
+
+
+# --------------------------------------------------------------------- Fig 4
+
+
+@dataclass
+class Fig4Result:
+    """Served requests: SB alone vs the sum when SB shares the GPU."""
+
+    alone_rate: float  # SB alone, requests per kcycle
+    shared_rates: dict[str, tuple[float, float]]  # partner → (SB, partner)
+
+
+def fig4_mbb_requests(
+    partners: list[str] | None = None,
+    config: GPUConfig | None = None,
+    cycles: int | None = None,
+) -> Fig4Result:
+    """Fig. 4: a memory-bandwidth-bound app alone serves ≈ as many requests
+    as the *sum* of all apps when it runs with others."""
+    partners = partners or ["SA", "VA", "QR"]
+    config = config or scaled_config()
+    cycles = cycles or max(60_000, default_shared_cycles() // 3)
+    alone = GPU(config, [SUITE["SB"]])
+    alone.run(cycles)
+    alone_rate = alone.mem_stats.apps[0].requests_served / cycles * 1000
+    shared: dict[str, tuple[float, float]] = {}
+    for p in partners:
+        gpu = GPU(config, [
+            LaunchedKernel(SUITE["SB"], stream_id=0),
+            LaunchedKernel(SUITE[p], stream_id=1),
+        ])
+        gpu.run(cycles)
+        shared[p] = (
+            gpu.mem_stats.apps[0].requests_served / cycles * 1000,
+            gpu.mem_stats.apps[1].requests_served / cycles * 1000,
+        )
+    return Fig4Result(alone_rate=alone_rate, shared_rates=shared)
+
+
+# ---------------------------------------------------------------- Figs 5 - 7
+
+
+@dataclass
+class AccuracyResult:
+    """Per-model estimation errors over a set of workloads (Figs. 5/6/7)."""
+
+    workloads: list[tuple[str, ...]]
+    per_workload: dict[str, dict[str, float]]  # combo key → model → mean err
+    errors: dict[str, list[float]]  # model → all per-app errors
+    results: list[WorkloadResult] = field(default_factory=list)
+
+    def mean_error(self, model: str) -> float:
+        return mean(self.errors[model])
+
+    def distribution(self, model: str) -> dict[str, float]:
+        return error_distribution(self.errors[model])
+
+
+def estimation_accuracy(
+    workloads: list[tuple[str, ...]],
+    config: GPUConfig | None = None,
+    shared_cycles: int | None = None,
+    models: tuple[str, ...] = ("DASE", "MISE", "ASM"),
+    sm_partition=None,
+) -> AccuracyResult:
+    """Shared driver for Figs. 5, 6 and 7."""
+    out = AccuracyResult(
+        workloads=list(workloads),
+        per_workload={},
+        errors={m: [] for m in models},
+    )
+    for combo in workloads:
+        res = run_workload(
+            list(combo), config=config, shared_cycles=shared_cycles,
+            models=models, sm_partition=sm_partition,
+        )
+        key = "+".join(combo)
+        out.per_workload[key] = {}
+        for m in models:
+            errs = res.errors(m)
+            out.errors[m].extend(errs)
+            out.per_workload[key][m] = mean(errs) if errs else float("nan")
+        out.results.append(res)
+    return out
+
+
+def fig5_two_app_accuracy(limit: int | None = None, **kw) -> AccuracyResult:
+    """Fig. 5: estimation error across two-application workloads."""
+    return estimation_accuracy(pair_list(limit), **kw)
+
+
+def fig6_four_app_accuracy(count: int | None = None, **kw) -> AccuracyResult:
+    """Fig. 6: estimation error across four-application workloads."""
+    n = count if count is not None else (30 if full_scale() else 4)
+    return estimation_accuracy(four_app_workloads(n), **kw)
+
+
+def fig7_error_distribution(
+    two_app: AccuracyResult, four_app: AccuracyResult | None = None
+) -> dict[str, dict[str, float]]:
+    """Fig. 7: error histogram per model, pooled over all workloads."""
+    out: dict[str, dict[str, float]] = {}
+    for model in two_app.errors:
+        errs = list(two_app.errors[model])
+        if four_app is not None:
+            errs += four_app.errors[model]
+        out[model] = error_distribution(errs)
+    return out
+
+
+# --------------------------------------------------------------------- Fig 8
+
+
+@dataclass
+class SensitivityResult:
+    labels: list[str]
+    dase_errors: dict[str, float]
+
+
+def fig8a_sm_allocation_sensitivity(
+    splits: list[tuple[int, int]] | None = None,
+    pairs: list[tuple[str, str]] | None = None,
+    **kw,
+) -> SensitivityResult:
+    """Fig. 8a: DASE accuracy under uneven launch-time SM splits."""
+    splits = splits or [(4, 12), (8, 8), (12, 4)]
+    pairs = pairs or pair_list(3 if not full_scale() else 30)
+    labels, errs = [], {}
+    for a, b in splits:
+        label = f"{a}+{b}"
+        acc = estimation_accuracy(
+            pairs, models=("DASE",), sm_partition=[a, b], **kw
+        )
+        labels.append(label)
+        errs[label] = acc.mean_error("DASE")
+    return SensitivityResult(labels=labels, dase_errors=errs)
+
+
+def fig8b_sm_count_sensitivity(
+    sm_counts: list[int] | None = None,
+    pairs: list[tuple[str, str]] | None = None,
+    shared_cycles: int | None = None,
+) -> SensitivityResult:
+    """Fig. 8b: DASE accuracy when the GPU itself has fewer/more SMs."""
+    sm_counts = sm_counts or [8, 16]
+    pairs = pairs or pair_list(3 if not full_scale() else 30)
+    labels, errs = [], {}
+    for n in sm_counts:
+        cfg = scaled_config(n_sms=n)
+        acc = estimation_accuracy(
+            pairs, config=cfg, models=("DASE",), shared_cycles=shared_cycles
+        )
+        label = f"{n}SMs"
+        labels.append(label)
+        errs[label] = acc.mean_error("DASE")
+    return SensitivityResult(labels=labels, dase_errors=errs)
+
+
+# --------------------------------------------------------------------- Fig 9
+
+
+@dataclass
+class Fig9Result:
+    """DASE-Fair vs the even split."""
+
+    workloads: list[str]
+    unfairness_even: dict[str, float]
+    unfairness_fair: dict[str, float]
+    hspeedup_even: dict[str, float]
+    hspeedup_fair: dict[str, float]
+
+    @property
+    def mean_unfairness_improvement(self) -> float:
+        """Mean relative reduction in unfairness (paper: >16.1%)."""
+        vals = [
+            1.0 - self.unfairness_fair[k] / self.unfairness_even[k]
+            for k in self.workloads
+        ]
+        return mean(vals)
+
+    @property
+    def mean_hspeedup_improvement(self) -> float:
+        """Mean relative H-speedup gain (paper: >3.7%)."""
+        vals = [
+            self.hspeedup_fair[k] / self.hspeedup_even[k] - 1.0
+            for k in self.workloads
+        ]
+        return mean(vals)
+
+
+def fig9_dase_fair(
+    pairs: list[tuple[str, str]] | None = None,
+    config: GPUConfig | None = None,
+    shared_cycles: int | None = None,
+) -> Fig9Result:
+    """Fig. 9: run each workload under the even policy and under DASE-Fair.
+
+    Kernels the paper calls 'unfit' (too few thread blocks — here BG) are
+    excluded, as in the paper.
+    """
+    if pairs is None:
+        pairs = [p for p in pair_list() if "BG" not in p]
+    config = config or scaled_config()
+    out = Fig9Result([], {}, {}, {}, {})
+    for pair in pairs:
+        key = "+".join(pair)
+        even = run_workload(
+            list(pair), config=config, shared_cycles=shared_cycles, models=()
+        )
+        policy = DASEFairPolicy(config)
+        fair = run_workload(
+            list(pair), config=config, shared_cycles=shared_cycles,
+            models=(), policy=policy,
+        )
+        out.workloads.append(key)
+        out.unfairness_even[key] = even.actual_unfairness
+        out.unfairness_fair[key] = fair.actual_unfairness
+        out.hspeedup_even[key] = even.actual_hspeedup
+        out.hspeedup_fair[key] = fair.actual_hspeedup
+    return out

@@ -1,0 +1,113 @@
+"""Plain-text rendering of experiment results, row-for-row with the paper."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.harness.experiments import (
+    AccuracyResult,
+    Fig2Result,
+    Fig3Result,
+    Fig4Result,
+    Fig9Result,
+    SensitivityResult,
+)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def render_fig2(res: Fig2Result) -> str:
+    rows = []
+    for key in res.unfairness:
+        slow = res.slowdowns[key]
+        rows.append([key, f"{res.unfairness[key]:.2f}"]
+                    + [f"{s:.2f}" for s in slow])
+    part1 = table(["workload", "unfairness", "slowdown(1st)", "slowdown(2nd)"], rows)
+    rows2 = []
+    for key, bd in res.breakdown.items():
+        rows2.append([key] + [pct(v) for v in bd.values()])
+    first = next(iter(res.breakdown.values()))
+    part2 = table(["workload"] + list(first.keys()), rows2)
+    tail = f"SD alone attains {pct(res.sd_alone_bw)} of DRAM bandwidth"
+    return "\n\n".join(["Fig 2a — unfairness:", part1,
+                        "Fig 2b — DRAM bandwidth decomposition:", part2, tail])
+
+
+def render_fig3(res: Fig3Result) -> str:
+    rows = [[f"{r:.1f}", f"{ipc:.3f}"] for r, ipc in res.points]
+    body = table(["requests/kcycle", "memory IPC"], rows)
+    return (
+        "Fig 3 — performance vs request service rate:\n"
+        f"{body}\nPearson correlation: {res.correlation:.3f}"
+    )
+
+
+def render_fig4(res: Fig4Result) -> str:
+    rows = []
+    for partner, (sb, other) in res.shared_rates.items():
+        rows.append([
+            f"SB+{partner}", f"{sb:.0f}", f"{other:.0f}", f"{sb + other:.0f}",
+            f"{res.alone_rate:.0f}",
+        ])
+    body = table(
+        ["workload", "SB served/kcyc", "partner", "sum", "SB alone"], rows
+    )
+    return "Fig 4 — MBB served-request conservation:\n" + body
+
+
+def render_accuracy(res: AccuracyResult, title: str) -> str:
+    models = list(res.errors)
+    rows = [
+        [key] + [pct(res.per_workload[key][m]) for m in models]
+        for key in res.per_workload
+    ]
+    rows.append(["MEAN"] + [pct(res.mean_error(m)) for m in models])
+    return f"{title}:\n" + table(["workload"] + models, rows)
+
+
+def render_distribution(dists: dict[str, dict[str, float]]) -> str:
+    models = list(dists)
+    bins = list(next(iter(dists.values())))
+    rows = [[b] + [pct(dists[m][b]) for m in models] for b in bins]
+    return "Fig 7 — error distribution:\n" + table(["error range"] + models, rows)
+
+
+def render_sensitivity(res: SensitivityResult, title: str) -> str:
+    rows = [[lab, pct(res.dase_errors[lab])] for lab in res.labels]
+    return f"{title}:\n" + table(["configuration", "DASE error"], rows)
+
+
+def render_fig9(res: Fig9Result) -> str:
+    rows = []
+    for key in res.workloads:
+        rows.append([
+            key,
+            f"{res.unfairness_even[key]:.2f}",
+            f"{res.unfairness_fair[key]:.2f}",
+            f"{res.hspeedup_even[key]:.3f}",
+            f"{res.hspeedup_fair[key]:.3f}",
+        ])
+    body = table(
+        ["workload", "unf(even)", "unf(DASE-Fair)", "hsp(even)", "hsp(DASE-Fair)"],
+        rows,
+    )
+    return (
+        "Fig 9 — DASE-Fair vs even SM split:\n" + body +
+        f"\nmean unfairness improvement: {pct(res.mean_unfairness_improvement)}"
+        f"\nmean H-speedup improvement:  {pct(res.mean_hspeedup_improvement)}"
+    )

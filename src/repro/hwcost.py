@@ -1,0 +1,91 @@
+"""Hardware cost model for DASE (paper Table 1 / §4.4).
+
+Adds up the storage the DASE counters require per memory partition and
+globally, and expresses the per-partition cost as a fraction of the paper's
+64 KB L2 reference slice — the paper reports < 0.625% for N = 4 apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Bit counts per memory partition and per SM, plus totals."""
+
+    per_partition_bits: int
+    per_sm_bits: int
+    global_bits: int
+    n_apps: int
+
+    @property
+    def per_partition_bytes(self) -> float:
+        return self.per_partition_bits / 8
+
+    def fraction_of_l2(self, l2_slice_bytes: int = 64 * 1024) -> float:
+        """Per-partition cost as a fraction of an L2 slice (paper: 64 KB)."""
+        return self.per_partition_bytes / l2_slice_bytes
+
+
+def dase_hardware_cost(config: GPUConfig, n_apps: int = 4) -> HardwareCost:
+    """Table 1: the counters DASE adds, with the paper's bit widths.
+
+    Key cost trick (paper §4.4): "the slowdown of each application is
+    estimated one by one to reduce hardware cost" — the detection hardware
+    (ATD, last-row registers, ERBMiss/ELLCMiss, BLP counters) is
+    *time-multiplexed* across applications, so one copy per partition
+    suffices; only the served-request counters are replicated per app.
+
+    Per memory partition (single copy, multiplexed):
+      * ERBMiss / ELLCMiss counters          — 32 bits each
+      * last-access-row registers            — n_banks × 16 bits
+      * sampled ATD                           — 8 sets × assoc × 32 bits
+      * Request / Time_request counters       — 2 × 32 bits
+      * BLP / BLPAccess counters              — 2 × 32 bits
+    Per memory partition, per application:
+      * served-request counters               — 32 bits per app
+    Per SM:
+      * stall-fraction α accumulator          — 32 bits
+    Global:
+      * interval cycle counter                — 32 bits
+      * SM_sum/SM_used/TB_sum/TB_used         — 4 × 32 bits per app
+    """
+    if n_apps < 1:
+        raise ValueError("need at least one application")
+    atd_bits = config.atd_sample_sets * config.l2.assoc * 32
+    shared_partition = (
+        32 + 32  # ERBMiss, ELLCMiss
+        + config.n_banks * 16  # last-row registers
+        + atd_bits  # sampled ATD
+        + 32 + 32  # Request / Time_request
+        + 32 + 32  # BLP / BLPAccess
+    )
+    per_partition = shared_partition + 32 * n_apps  # served-request counters
+    per_sm = 32  # α accumulator
+    global_bits = 32 + 4 * 32 * n_apps
+    return HardwareCost(
+        per_partition_bits=per_partition,
+        per_sm_bits=per_sm,
+        global_bits=global_bits,
+        n_apps=n_apps,
+    )
+
+
+def table1_rows(config: GPUConfig, n_apps: int = 4) -> list[tuple[str, str]]:
+    """The rows of paper Table 1 with this configuration's numbers."""
+    atd = config.atd_sample_sets * config.l2.assoc * 32
+    return [
+        ("ERBMiss/ELLCMiss counters", "32 bits each"),
+        ("Last access row address registers", f"{config.n_banks} × 16 bits"),
+        ("Sample ATD", f"{config.atd_sample_sets} set × {config.l2.assoc} way"
+                       f" × 32 bit = {atd} bits"),
+        ("Served memory request counters", "32 bits per application"),
+        ("Request/Time counters", "2 × 32 bits"),
+        ("BLP/BLPAccess counters", "2 × 32 bits"),
+        ("Stall fraction α", "32 bits per SM"),
+        ("Interval cycle counter", "32 bits"),
+        ("SMsum/SMused/TBsum/TBused", "4 × 32 bits per application"),
+    ]

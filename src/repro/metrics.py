@@ -1,0 +1,79 @@
+"""Evaluation metrics (paper Eqs. 1, 2, 26, 27).
+
+All metrics operate on plain sequences of floats so they are usable both on
+measured (actual) slowdowns and on model estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def slowdown(ipc_alone: float, ipc_shared: float) -> float:
+    """Eq. 1: IPC_alone / IPC_shared (≥ 1 under contention)."""
+    if ipc_shared <= 0:
+        raise ValueError("shared IPC must be positive")
+    return ipc_alone / ipc_shared
+
+
+def unfairness(slowdowns: Sequence[float]) -> float:
+    """Eq. 2: max slowdown / min slowdown (1.0 = perfectly fair)."""
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    lo = min(slowdowns)
+    if lo <= 0:
+        raise ValueError("slowdowns must be positive")
+    return max(slowdowns) / lo
+
+
+def harmonic_speedup(slowdowns: Sequence[float]) -> float:
+    """Eq. 27: N / Σ slowdown_i — the harmonic mean of per-app speedups.
+
+    The paper writes it as N / Σ (IPC_alone / IPC_shared); since
+    slowdown_i = IPC_alone/IPC_shared this is exactly N / Σ slowdown_i.
+    """
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    return len(slowdowns) / sum(slowdowns)
+
+
+def estimation_error(estimated: float, actual: float) -> float:
+    """Eq. 26: |estimated − actual| / actual, as a fraction.
+
+    The paper reports the *average* of this over applications and workloads;
+    we return the per-application value and let callers average.
+    """
+    if actual <= 0:
+        raise ValueError("actual slowdown must be positive")
+    return abs(estimated - actual) / actual
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean with an explicit empty-input error."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def error_distribution(
+    errors: Sequence[float], edges: Sequence[float] = (0.1, 0.2, 0.3, 0.4)
+) -> dict[str, float]:
+    """Fig. 7 histogram: fraction of errors in each range.
+
+    Returns bins ``<10%``, ``10-20%``, …, ``>40%`` (for the default edges),
+    each as a fraction of all errors.
+    """
+    if not errors:
+        raise ValueError("need at least one error")
+    edges = sorted(edges)
+    labels = [f"<{edges[0]:.0%}"]
+    labels += [f"{lo:.0%}-{hi:.0%}" for lo, hi in zip(edges, edges[1:])]
+    labels += [f">{edges[-1]:.0%}"]
+    counts = [0] * (len(edges) + 1)
+    for e in errors:
+        idx = sum(1 for edge in edges if e >= edge)
+        counts[idx] += 1
+    total = len(errors)
+    return {label: c / total for label, c in zip(labels, counts)}

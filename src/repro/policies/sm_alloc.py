@@ -1,0 +1,200 @@
+"""SM allocation policies (paper §7).
+
+DASE-Fair, every estimation interval:
+
+1. read each application's estimated slowdown from DASE and take the
+   reciprocal (Eq. 28) — a linear proxy for normalized performance in [0, 1];
+2. predict each application's reciprocal at every candidate SM count with
+   the two linear interpolations of Eqs. 29 (more SMs: toward 1.0 at
+   SM_all) and 30 (fewer SMs: toward 0.0 at 0);
+3. exhaustively search all partitions of the SMs (every app ≥ 1) for the
+   one minimizing predicted unfairness (Eq. 2);
+4. if it beats the current partition by a hysteresis margin, migrate SMs
+   via draining (no new blocks on donor SMs; ownership flips when their
+   resident blocks retire).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Sequence
+
+from repro.config import GPUConfig
+from repro.core.dase import DASE
+from repro.sim.gpu import GPU
+from repro.sim.stats import IntervalRecord
+
+
+def interpolate_reciprocal(
+    reciprocal: float, current_sms: int, target_sms: int, total_sms: int
+) -> float:
+    """Predict the slowdown reciprocal at ``target_sms`` (Eqs. 29-30).
+
+    With more SMs the reciprocal climbs linearly toward 1.0 (the value with
+    all SMs, since alone = all SMs); with fewer it falls linearly toward
+    0.0 at zero SMs.
+    """
+    if not 0.0 <= reciprocal <= 1.0:
+        reciprocal = min(1.0, max(0.0, reciprocal))
+    if current_sms < 1 or target_sms < 0 or target_sms > total_sms:
+        raise ValueError("SM counts out of range")
+    if target_sms >= current_sms:
+        if total_sms == current_sms:
+            return 1.0 if target_sms == total_sms else reciprocal
+        frac = (target_sms - current_sms) / (total_sms - current_sms)
+        return reciprocal + frac * (1.0 - reciprocal)  # Eq. 29
+    return reciprocal * target_sms / current_sms  # Eq. 30
+
+
+def _partitions(total: int, n_apps: int) -> list[tuple[int, ...]]:
+    """All compositions of ``total`` SMs into ``n_apps`` parts, each ≥ 1."""
+    if n_apps == 1:
+        return [(total,)]
+    out = []
+    for cut in itertools.combinations(range(1, total), n_apps - 1):
+        prev = 0
+        parts = []
+        for c in cut:
+            parts.append(c - prev)
+            prev = c
+        parts.append(total - prev)
+        out.append(tuple(parts))
+    return out
+
+
+def best_partition(
+    reciprocals: Sequence[float],
+    current: Sequence[int],
+    total_sms: int,
+) -> tuple[tuple[int, ...], float]:
+    """Exhaustive search (paper: 'we search all possible SM allocation
+    schemes') for the partition minimizing predicted unfairness.
+
+    Returns (partition, predicted_unfairness).
+    """
+    n = len(reciprocals)
+    if n != len(current):
+        raise ValueError("reciprocals and current partition length mismatch")
+    best: tuple[int, ...] | None = None
+    best_unf = float("inf")
+    for cand in _partitions(total_sms, n):
+        slowdowns = []
+        for r, cur, tgt in zip(reciprocals, current, cand):
+            pr = interpolate_reciprocal(r, cur, tgt, total_sms)
+            slowdowns.append(1.0 / max(pr, 1e-6))
+        unf = max(slowdowns) / min(slowdowns)
+        if unf < best_unf:
+            best_unf, best = unf, cand
+    assert best is not None
+    return best, best_unf
+
+
+class AllocationPolicy(abc.ABC):
+    """Base class: a policy attaches to a GPU and may reassign SMs."""
+
+    name = "base"
+
+    def attach(self, gpu: GPU) -> None:
+        self.gpu = gpu
+        gpu.add_interval_listener(self.on_interval)
+
+    @abc.abstractmethod
+    def on_interval(self, records: list[IntervalRecord]) -> None: ...
+
+
+class EvenPolicy(AllocationPolicy):
+    """The paper's baseline: keep the launch-time even split forever."""
+
+    name = "even"
+
+    def on_interval(self, records: list[IntervalRecord]) -> None:
+        return
+
+
+class StaticPolicy(AllocationPolicy):
+    """Any fixed launch-time split (used by the Fig. 8a sensitivity study)."""
+
+    name = "static"
+
+    def on_interval(self, records: list[IntervalRecord]) -> None:
+        return
+
+
+class DASEFairPolicy(AllocationPolicy):
+    """The paper's fairness-oriented dynamic SM partitioning."""
+
+    name = "dase-fair"
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        estimator: DASE | None = None,
+        improvement_margin: float = 0.05,
+        min_tb_unfinished: int = 32,
+    ) -> None:
+        """``improvement_margin``: required relative unfairness improvement
+        before migrating (hysteresis against estimate noise).
+
+        ``min_tb_unfinished``: the paper notes the method 'is unsuitable for
+        some kernels, which have too less thread blocks or are too short' —
+        an application below this many unfinished thread blocks freezes
+        reallocation for the interval.
+        """
+        self.config = config
+        self.estimator = estimator or DASE(config)
+        self.improvement_margin = improvement_margin
+        self.min_tb_unfinished = min_tb_unfinished
+        self.decisions: list[tuple[int, tuple[int, ...]]] = []  # (cycle, target)
+        self._own_estimator = estimator is None
+
+    def attach(self, gpu: GPU) -> None:
+        # The estimator must observe the interval *before* the policy acts.
+        if self._own_estimator:
+            self.estimator.attach(gpu)
+        elif self.estimator.gpu is None:
+            self.estimator.attach(gpu)
+        super().attach(gpu)
+
+    def on_interval(self, records: list[IntervalRecord]) -> None:
+        gpu = self.gpu
+        # Let an in-flight migration settle before deciding again.
+        if any(sm.draining for sm in gpu.sms):
+            return
+        if any(r.tb_unfinished < self.min_tb_unfinished for r in records):
+            return
+        recs = self.estimator.latest_reciprocals()
+        if not recs or any(r is None for r in recs):
+            return
+        current = gpu.sm_counts()
+        if min(current) < 1:
+            return
+        target, predicted = best_partition(recs, current, self.config.n_sms)
+
+        slowdowns = [1.0 / max(r, 1e-6) for r in recs]
+        current_unf = max(slowdowns) / min(slowdowns)
+        if tuple(current) == target:
+            return
+        if predicted > current_unf * (1.0 - self.improvement_margin):
+            return
+        self.decisions.append((gpu.engine.now, target))
+        self._apply(current, target)
+
+    def _apply(self, current: Sequence[int], target: Sequence[int]) -> None:
+        deltas = [t - c for c, t in zip(current, target)]
+        donors = [(i, -d) for i, d in enumerate(deltas) if d < 0]
+        takers = [(i, d) for i, d in enumerate(deltas) if d > 0]
+        di = ti = 0
+        while di < len(donors) and ti < len(takers):
+            d_app, d_avail = donors[di]
+            t_app, t_need = takers[ti]
+            k = min(d_avail, t_need)
+            self.gpu.migrate_sms(d_app, t_app, k)
+            d_avail -= k
+            t_need -= k
+            donors[di] = (d_app, d_avail)
+            takers[ti] = (t_app, t_need)
+            if d_avail == 0:
+                di += 1
+            if t_need == 0:
+                ti += 1

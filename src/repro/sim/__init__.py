@@ -1,0 +1,21 @@
+"""Cycle-level GPU simulator substrate.
+
+This subpackage replaces GPGPU-Sim in the reproduction: an event-driven,
+deterministic simulator of the paper's baseline architecture — SMs with
+processor-sharing warp issue, a crossbar interconnect, per-partition L2
+slices, and FR-FCFS DRAM controllers with banked row buffers.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.interconnect import Crossbar
+from repro.sim.kernel import AccessPattern, KernelSpec
+from repro.sim.gpu import GPU, LaunchedKernel
+
+__all__ = [
+    "Engine",
+    "GPU",
+    "LaunchedKernel",
+    "KernelSpec",
+    "AccessPattern",
+    "Crossbar",
+]

@@ -1,0 +1,101 @@
+"""Physical address decomposition.
+
+Addresses are byte addresses in a flat space.  Cache lines (128 B) are
+interleaved across memory partitions in 256 B granules (two lines, as on
+real GPUs), which spreads every application's traffic over all L2 slices
+and DRAM channels — the property that makes the memory system a *shared*
+resource and creates the interference DASE models.  The two-line granule
+also means a *wide* (two consecutive line) access lands in one partition
+and one DRAM row, giving coalesced kernels their row-buffer locality.
+
+Within a partition the local line stream maps onto DRAM as: consecutive
+lines fill a row buffer (``lines_per_row`` lines), then move to the next
+bank, so streaming enjoys both row hits and bank-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """All the coordinates the memory system needs for one access."""
+
+    line: int  # global cache-line number
+    partition: int  # which memory partition / L2 slice
+    local_line: int  # line index within the partition
+    cache_set: int  # L2 set within the slice
+    tag: int  # L2 tag within the set
+    bank: int  # DRAM bank within the partition
+    row: int  # DRAM row within the bank
+
+
+class AddressMapper:
+    """Decodes byte addresses under a given :class:`GPUConfig` geometry."""
+
+    __slots__ = (
+        "_line_shift", "_n_partitions", "_n_sets", "_set_shift", "_set_mask",
+        "_n_banks", "_lines_per_row", "_ilv", "_ilv_shift", "_ilv_mask",
+    )
+
+    def __init__(self, config: GPUConfig) -> None:
+        line = config.l2.line_bytes
+        if line & (line - 1):
+            raise ValueError("line size must be a power of two")
+        self._line_shift = line.bit_length() - 1
+        self._n_partitions = config.n_partitions
+        self._n_sets = config.l2.n_sets
+        self._set_mask = self._n_sets - 1
+        self._set_shift = self._n_sets.bit_length() - 1
+        self._n_banks = config.n_banks
+        self._lines_per_row = config.lines_per_row
+        self._ilv = config.interleave_lines
+        self._ilv_shift = self._ilv.bit_length() - 1
+        self._ilv_mask = self._ilv - 1
+
+    @property
+    def line_bytes(self) -> int:
+        return 1 << self._line_shift
+
+    def line_of(self, addr: int) -> int:
+        """Global cache-line number containing byte address ``addr``."""
+        return addr >> self._line_shift
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Full decomposition of a byte address."""
+        if addr < 0:
+            raise ValueError("addresses are non-negative")
+        line = addr >> self._line_shift
+        granule = line >> self._ilv_shift
+        partition = granule % self._n_partitions
+        local = (granule // self._n_partitions) << self._ilv_shift | (
+            line & self._ilv_mask
+        )
+        cache_set = local & self._set_mask
+        tag = local >> self._set_shift
+        bank = (local // self._lines_per_row) % self._n_banks
+        row = local // (self._lines_per_row * self._n_banks)
+        return DecodedAddress(
+            line=line, partition=partition, local_line=local,
+            cache_set=cache_set, tag=tag, bank=bank, row=row,
+        )
+
+    def encode(self, partition: int, local_line: int) -> int:
+        """Inverse of :meth:`decode`: byte address of a partition-local line.
+
+        Useful for tests and trace construction; round-trips with decode.
+        """
+        if not 0 <= partition < self._n_partitions:
+            raise ValueError("partition out of range")
+        if local_line < 0:
+            raise ValueError("local_line must be non-negative")
+        granule = (local_line >> self._ilv_shift) * self._n_partitions + partition
+        line = granule << self._ilv_shift | (local_line & self._ilv_mask)
+        return line << self._line_shift
+
+    def local_coords(self, bank: int, row: int, line_in_row: int = 0) -> int:
+        """Partition-local line number for (bank, row, offset) coordinates."""
+        return (row * self._n_banks + bank) * self._lines_per_row + line_in_row

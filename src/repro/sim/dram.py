@@ -1,0 +1,320 @@
+"""Memory partition: L2 slice + FR-FCFS DRAM controller.
+
+Models every interference mechanism the DASE model charges for:
+
+* **bank conflicts** — one request occupies a bank from scheduling until its
+  data leaves the bus; requests to a busy bank wait (Eq. 9's source);
+* **row-buffer interference** — each bank has an open row; a co-runner
+  closing it costs tRP + tRCD on the victim's next access (Eq. 10); the
+  per-(app, bank) last-row registers of Table 1 detect exactly this;
+* **shared-cache contention** — the L2 slice is shared; per-app ATDs flag
+  contention misses (Eq. 11);
+* **data-bus serialization** — one shared data bus per partition; transfers
+  are serialized even when banks operate in parallel;
+* **FR-FCFS** — row hits first, then oldest-first, per bank, with an
+  optional highest-priority application hook used by the MISE/ASM sampling
+  epochs.
+
+Scheduling is event-driven with *per-bank* queues: a request is considered
+the moment its bank frees (or the moment it arrives at a free bank), so the
+controller never scans a global queue.  Cross-bank arbitration conflicts on
+the command bus are not modelled (consistent with folding all command timing
+into the per-request service latency).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import GPUConfig
+from repro.sim.address import DecodedAddress
+from repro.sim.atd import AuxTagDirectory
+from repro.sim.cache import SetAssocCache
+from repro.sim.engine import Engine
+from repro.sim.stats import MemoryStats
+
+
+class DramRequest:
+    """One outstanding DRAM read on behalf of an application."""
+
+    __slots__ = ("app", "addr", "arrival", "callback", "seq")
+
+    def __init__(
+        self,
+        app: int,
+        addr: DecodedAddress,
+        arrival: int,
+        callback: Callable[[int], None],
+        seq: int,
+    ) -> None:
+        self.app = app
+        self.addr = addr
+        self.arrival = arrival
+        self.callback = callback
+        self.seq = seq
+
+
+class MemoryPartition:
+    """One of the GPU's memory partitions (L2 slice + DRAM channel)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: GPUConfig,
+        partition_id: int,
+        n_apps: int,
+        stats: MemoryStats,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.pid = partition_id
+        self.n_apps = n_apps
+        self.stats = stats
+
+        self.l2 = SetAssocCache(config.l2)
+        self.atds = [
+            AuxTagDirectory(config.l2.n_sets, config.l2.assoc, config.atd_sample_sets)
+            for _ in range(n_apps)
+        ]
+
+        nb = config.n_banks
+        self.bank_open_row: list[int] = [-1] * nb
+        self.bank_busy: list[bool] = [False] * nb
+        self.bank_queues: list[list[DramRequest]] = [[] for _ in range(nb)]
+        self.bus_free_at: int = 0
+        # Last-row registers, per (app, bank) — Table 1's detection hardware.
+        self.last_row = [[-1] * nb for _ in range(n_apps)]
+        # Distinct-bank demand tracking for the BLP integrals.
+        self._bank_demand = [[0] * nb for _ in range(n_apps)]
+        # Queued-request counts per (bank, app) for O(1) priority checks.
+        self._queued_per_app = [[0] * n_apps for _ in range(nb)]
+        # Highest-priority application (None = plain FR-FCFS).
+        self.priority_app: int | None = None
+        # Application-aware round-robin pointer (mc_scheduler == "rr").
+        self._rr_next = 0
+
+        self._seq = 0
+        # Controller issue-slot management (mc_issue_gap).
+        self.next_issue_at = 0
+        self._pending_banks: set[int] = set()
+        self._issue_event_at = -1
+        # Partition busy-time integration (any bank active) for Fig. 2b.
+        self._busy_active = 0
+        self._busy_last = 0
+        self.busy_time = 0
+        # Pre-convert timings to core cycles.
+        d = config.dram
+        self._t_hit = config.dram_cycles_to_core(d.tCL)
+        self._t_miss = config.dram_cycles_to_core(d.tCL + d.tRP + d.tRCD)
+        self._t_burst = config.dram_cycles_to_core(d.tBurst)
+        self._t_faw = config.dram_cycles_to_core(d.tFAW)
+        # Timestamps of the last four row activations (tFAW enforcement).
+        self._activates: list[int] = []
+
+    # ------------------------------------------------------------------ L2
+
+    def access(
+        self, addr: DecodedAddress, app: int, callback: Callable[[int], None]
+    ) -> None:
+        """Handle one memory access arriving at this partition.
+
+        ``callback(completion_cycle)`` fires when the data is ready to leave
+        the partition (the caller adds return-network latency).
+        """
+        now = self.engine.now
+        mem = self.stats.apps[app]
+        hit = self.l2.access(addr.cache_set, addr.tag, app)
+        self.atds[app].observe(addr.cache_set, addr.tag, hit)
+        if hit:
+            mem.l2_hits += 1
+            done = now + self.config.l2_latency
+            self.engine.at(done, lambda: callback(done))
+            return
+        mem.l2_misses += 1
+        self._seq += 1
+        req = DramRequest(app, addr, now + self.config.l2_latency, callback, self._seq)
+        self.stats.advance(now)
+        self.stats.request_enqueued(app)
+        self._demand_bank(app, addr.bank, +1)
+        self.engine.at(req.arrival, lambda: self._arrive(req))
+
+    # ----------------------------------------------------------------- DRAM
+
+    def _demand_bank(self, app: int, bank: int, delta: int) -> None:
+        d = self._bank_demand[app]
+        before = d[bank] > 0
+        d[bank] += delta
+        after = d[bank] > 0
+        if after and not before:
+            self.stats.demanded_changed(app, +1)
+        elif before and not after:
+            self.stats.demanded_changed(app, -1)
+
+    def _arrive(self, req: DramRequest) -> None:
+        bank = req.addr.bank
+        self.bank_queues[bank].append(req)
+        self._queued_per_app[bank][req.app] += 1
+        if not self.bank_busy[bank]:
+            self._pending_banks.add(bank)
+            self._try_issue()
+
+    def _try_issue(self) -> None:
+        """Issue requests to free banks, one per ``mc_issue_gap`` cycles."""
+        now = self.engine.now
+        while self._pending_banks:
+            if now < self.next_issue_at:
+                t = self.next_issue_at
+                if self._issue_event_at != t:
+                    # Supersedes any stale scheduled wake-up: the token makes
+                    # old events no-ops instead of letting them re-arm.
+                    self._issue_event_at = t
+                    self.engine.at(t, lambda: self._issue_event(t))
+                return
+            bank = self._choose_bank()
+            if bank is None:
+                return
+            self._pending_banks.discard(bank)
+            self.next_issue_at = now + self.config.mc_issue_gap
+            self._dispatch_bank(bank)
+
+    def _issue_event(self, token: int) -> None:
+        if token != self._issue_event_at:
+            return  # superseded wake-up
+        self._issue_event_at = -1
+        self._try_issue()
+
+    def _choose_bank(self) -> int | None:
+        """Among banks wanting service, pick the one holding the best request
+        (priority app first, then the oldest request across banks).
+
+        Bank queues are FIFO by arrival, so ``queue[0].seq`` is each bank's
+        oldest request; per-(bank, app) counters make the priority check O(1).
+        """
+        best_bank = None
+        best_key: tuple[int, int] | None = None
+        prio = self.priority_app
+        for bank in self._pending_banks:
+            queue = self.bank_queues[bank]
+            if self.bank_busy[bank] or not queue:
+                continue
+            has_prio = (
+                0 if prio is not None and self._queued_per_app[bank][prio] else 1
+            )
+            key = (has_prio, queue[0].seq)
+            if best_key is None or key < best_key:
+                best_key, best_bank = key, bank
+        return best_bank
+
+    def _pick(self, bank: int) -> DramRequest:
+        """Select within one bank under the configured scheduler.
+
+        frfcfs: priority app, then row hit, then oldest.
+        rr:     priority app, then the round-robin turn-holder's requests,
+                then row hit, then oldest (Jog et al.'s application-aware
+                scheduling, which trades row locality for inter-application
+                fairness).
+        """
+        queue = self.bank_queues[bank]
+        open_row = self.bank_open_row[bank]
+        prio = self.priority_app
+        rr = self.config.mc_scheduler == "rr"
+        best_i = 0
+        best_key = None
+        for i, r in enumerate(queue):
+            if rr:
+                key = (
+                    0 if (prio is not None and r.app == prio) else 1,
+                    0 if r.app == self._rr_next else 1,
+                    0 if r.addr.row == open_row else 1,
+                    r.seq,
+                )
+            else:
+                key = (
+                    0 if (prio is not None and r.app == prio) else 1,
+                    0 if r.addr.row == open_row else 1,
+                    r.seq,
+                )
+            if best_key is None or key < best_key:
+                best_key, best_i = key, i
+        picked = queue.pop(best_i)
+        if rr:
+            self._rr_next = (picked.app + 1) % self.n_apps
+        return picked
+
+    def _dispatch_bank(self, bank: int) -> None:
+        """Start servicing the best queued request for a free bank."""
+        queue = self.bank_queues[bank]
+        if not queue or self.bank_busy[bank]:
+            return
+        req = self._pick(bank)
+        self._queued_per_app[bank][req.app] -= 1
+        now = self.engine.now
+        app, addr = req.app, req.addr
+        mem = self.stats.apps[app]
+        row_hit = self.bank_open_row[bank] == addr.row
+        activate_at = now
+        if row_hit:
+            mem.row_hits += 1
+            latency = self._t_hit
+        else:
+            mem.row_misses += 1
+            latency = self._t_miss
+            # tFAW: the activation may have to wait for the four-activate
+            # window to roll past.
+            if len(self._activates) >= 4:
+                activate_at = max(now, self._activates[-4] + self._t_faw)
+            self._activates.append(activate_at)
+            if len(self._activates) > 4:
+                self._activates.pop(0)
+            # Row-buffer interference detection (paper §4.2.1): the row we
+            # must re-open is the one this app opened last in this bank —
+            # a co-runner closed it in between.
+            if self.last_row[app][bank] == addr.row:
+                mem.erb_miss += 1
+        self.last_row[app][bank] = addr.row
+
+        data_ready = activate_at + latency
+        bus_start = max(data_ready, self.bus_free_at)
+        completion = bus_start + self._t_burst
+        self.bus_free_at = completion
+        self.bank_open_row[bank] = addr.row
+        self.bank_busy[bank] = True
+
+        mem.time_request += completion - now
+        mem.data_bus_time += self._t_burst
+
+        self.stats.advance(now)
+        self.stats.bank_started(app)
+        self._busy_advance(now)
+        self._busy_active += 1
+        self.engine.at(completion, lambda: self._complete(req, completion))
+
+    def _busy_advance(self, now: int) -> None:
+        if self._busy_active > 0:
+            self.busy_time += now - self._busy_last
+        self._busy_last = now
+
+    def _complete(self, req: DramRequest, completion: int) -> None:
+        app = req.app
+        bank = req.addr.bank
+        self.stats.advance(completion)
+        self.stats.bank_finished(app)
+        self._busy_advance(completion)
+        self._busy_active -= 1
+        self.stats.request_completed(app)
+        self._demand_bank(app, bank, -1)
+        self.stats.apps[app].requests_served += 1
+        self.bank_busy[bank] = False
+        req.callback(completion)
+        if self.bank_queues[bank]:
+            self._pending_banks.add(bank)
+            self._try_issue()
+
+    # ------------------------------------------------------------- controls
+
+    def set_priority(self, app: int | None) -> None:
+        """Give one application's requests highest priority (MISE/ASM)."""
+        self.priority_app = app
+
+    def queue_length(self) -> int:
+        return sum(len(q) for q in self.bank_queues)

@@ -1,0 +1,70 @@
+"""Deterministic discrete-event engine.
+
+A single global clock in core cycles.  Components schedule callbacks at
+future cycles; ties are broken by insertion order so runs are reproducible.
+Stale events (e.g. an SM completion superseded by a state change) are handled
+by lazy invalidation: callers schedule with a *generation* token and the
+callback decides whether it is still current.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Engine:
+    """Event queue + simulation clock.
+
+    Events are ``(cycle, sequence, callback)`` triples in a binary heap.  The
+    ``sequence`` counter makes ordering total and deterministic: two events
+    scheduled for the same cycle fire in the order they were scheduled.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_stopped")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._stopped = False
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + int(delay), self._seq, callback))
+
+    def at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``cycle`` (>= now)."""
+        self.schedule(int(cycle) - self.now, callback)
+
+    def stop(self) -> None:
+        """Halt the run loop after the current event returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including possibly stale ones)."""
+        return len(self._heap)
+
+    def run(self, until: int | None = None) -> int:
+        """Process events in order until the queue drains or ``until`` cycles.
+
+        Returns the final clock value.  When ``until`` is given the clock is
+        advanced to exactly ``until`` even if the queue drained earlier, so
+        callers can account wall-clock-style statistics over a fixed window.
+        """
+        self._stopped = False
+        heap = self._heap
+        while heap and not self._stopped:
+            cycle, _, callback = heap[0]
+            if until is not None and cycle > until:
+                break
+            heapq.heappop(heap)
+            self.now = cycle
+            callback()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now

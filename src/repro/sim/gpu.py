@@ -1,0 +1,365 @@
+"""Top-level GPU: SMs ↔ crossbar ↔ memory partitions, plus the thread-block
+dispatcher, interval statistics, and the SM-migration (draining) mechanism.
+
+A :class:`GPU` instance simulates one run: construct it with the kernels and
+an SM partitioning, then :meth:`run` for a cycle budget or
+:meth:`run_until_instructions` for a matched-instruction alone replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.config import GPUConfig
+from repro.sim.address import AddressMapper
+from repro.sim.dram import MemoryPartition
+from repro.sim.engine import Engine
+from repro.sim.interconnect import Crossbar
+from repro.sim.kernel import KernelProgress, KernelSpec, WarpStream
+from repro.sim.sm import SM, ThreadBlockRT, WarpRT
+from repro.sim.stats import (
+    AppMemCounters,
+    AppSMCounters,
+    IntervalRecord,
+    MemoryStats,
+)
+
+
+@dataclass
+class LaunchedKernel:
+    """A kernel plus its launch-time policy knobs.
+
+    ``stream_id`` fixes the kernel's RNG seed and address-space slice
+    independently of its position in the kernel list, so a matched-
+    instruction *alone* replay (one kernel) observes exactly the warp
+    streams it had in the shared run (where it may have been app #1).
+    """
+
+    spec: KernelSpec
+    restart: bool = True  # restart the grid when it finishes (paper's method)
+    stream_id: int | None = None  # default: position in the kernel list
+
+
+IntervalListener = Callable[[list[IntervalRecord]], None]
+
+
+class GPU:
+    """One simulated GPU executing one or more kernels concurrently."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        kernels: Sequence[LaunchedKernel | KernelSpec],
+        sm_partition: Sequence[int] | None = None,
+    ) -> None:
+        """``sm_partition[i]`` = number of SMs initially owned by app ``i``.
+
+        Defaults to the paper's even split.  The partition must sum to at
+        most ``config.n_sms``; leftover SMs stay idle.
+        """
+        self.config = config
+        self.kernels = [
+            k if isinstance(k, LaunchedKernel) else LaunchedKernel(k) for k in kernels
+        ]
+        n_apps = len(self.kernels)
+        if n_apps < 1:
+            raise ValueError("need at least one kernel")
+        if sm_partition is None:
+            base = config.n_sms // n_apps
+            extra = config.n_sms % n_apps
+            sm_partition = [base + (1 if i < extra else 0) for i in range(n_apps)]
+        sm_partition = list(sm_partition)
+        if len(sm_partition) != n_apps:
+            raise ValueError("sm_partition length must match kernel count")
+        if any(s < 1 for s in sm_partition):
+            raise ValueError("every application needs at least one SM")
+        if sum(sm_partition) > config.n_sms:
+            raise ValueError("sm_partition exceeds available SMs")
+
+        self.engine = Engine()
+        self.mapper = AddressMapper(config)
+        self.mem_stats = MemoryStats(n_apps)
+        self.partitions = [
+            MemoryPartition(self.engine, config, p, n_apps, self.mem_stats)
+            for p in range(config.n_partitions)
+        ]
+        self.sms = [SM(self.engine, config, i, self) for i in range(config.n_sms)]
+        # One crossbar per direction (Table 2): SM→partition and back.
+        self.xbar_request = Crossbar(
+            self.engine, config.n_partitions, config.icnt_latency,
+            config.icnt_packet_cycles,
+        )
+        self.xbar_reply = Crossbar(
+            self.engine, config.n_sms, config.icnt_latency,
+            config.icnt_packet_cycles,
+        )
+        self.sm_counters = [AppSMCounters() for _ in range(n_apps)]
+        self.progress = [KernelProgress(k.spec) for k in self.kernels]
+        self.blocks_inflight = [0] * n_apps
+
+        # Initial ownership: app i gets the next sm_partition[i] SMs in order
+        # (matches the paper's "first app gets the first half").
+        cursor = 0
+        for app, count in enumerate(sm_partition):
+            for sm in self.sms[cursor : cursor + count]:
+                sm.assign_app(app)
+            cursor += count
+
+        self._interval_listeners: list[IntervalListener] = []
+        self.interval_history: list[list[IntervalRecord]] = []
+        self._last_interval_end = 0
+        self._mem_snap = [AppMemCounters() for _ in range(n_apps)]
+        self._sm_snap = [AppSMCounters() for _ in range(n_apps)]
+        self._sm_time_last = 0
+
+        self._inst_target: tuple[int, int] | None = None  # (app, instructions)
+        self._started = False
+
+    # ------------------------------------------------------------ topology
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.kernels)
+
+    def sms_of(self, app: int) -> list[SM]:
+        return [sm for sm in self.sms if sm.app == app]
+
+    def sm_counts(self) -> list[int]:
+        counts = [0] * self.n_apps
+        for sm in self.sms:
+            if sm.app is not None:
+                counts[sm.app] += 1
+        return counts
+
+    # ------------------------------------------------------------- dispatch
+
+    def _make_streams(self, app: int, block_id: int) -> list[WarpStream]:
+        kernel = self.kernels[app]
+        spec = kernel.spec
+        sid = kernel.stream_id if kernel.stream_id is not None else app
+        return [
+            WarpStream(
+                spec, sid, block_id, w, self.config.seed, self.config.l2.line_bytes
+            )
+            for w in range(spec.warps_per_block)
+        ]
+
+    def _fill_sm(self, sm: SM) -> None:
+        app = sm.app
+        if app is None:
+            return
+        kernel = self.kernels[app]
+        spec = kernel.spec
+        prog = self.progress[app]
+        while sm.can_accept_block(spec.warps_per_block, spec.max_resident_blocks):
+            if not kernel.restart and prog.blocks_remaining <= 0:
+                break
+            block_id = prog.next_block_id()
+            block = ThreadBlockRT(app, block_id, spec.warps_per_block)
+            self.blocks_inflight[app] += 1
+            sm.add_block(block, self._make_streams(app, block_id))
+
+    def block_finished(self, sm: SM, block: ThreadBlockRT) -> None:
+        """SM callback: a resident thread block retired."""
+        app = block.app
+        self.blocks_inflight[app] -= 1
+        self.progress[app].blocks_finished += 1
+        if not sm.draining:
+            self._fill_sm(sm)
+
+    # ---------------------------------------------------------- memory path
+
+    def issue_memory_request(
+        self, sm: SM, warp: WarpRT, addr: int, wait: bool = True
+    ) -> None:
+        """Route one memory access: SM → crossbar → partition → back.
+
+        ``wait=False`` (stores): the access still occupies the memory
+        system, but no response is routed back and the warp is not woken.
+        """
+        decoded = self.mapper.decode(addr)
+        part = self.partitions[decoded.partition]
+        app = sm.app if sm.app is not None else warp.block.app
+        engine = self.engine
+
+        sm_port = sm.sm_id
+
+        if wait:
+            def respond(completion: int) -> None:
+                self.xbar_reply.send(sm_port, lambda: sm.memory_response(warp))
+        else:
+            def respond(completion: int) -> None:
+                return
+
+        self.xbar_request.send(
+            decoded.partition, lambda: part.access(decoded, app, respond)
+        )
+
+    # ------------------------------------------------------------ intervals
+
+    def add_interval_listener(self, listener: IntervalListener) -> None:
+        self._interval_listeners.append(listener)
+
+    def _account_sm_time(self, now: int) -> None:
+        dt = now - self._sm_time_last
+        if dt <= 0:
+            return
+        self._sm_time_last = now
+        for sm in self.sms:
+            sm.account_wall_time(now)
+            if sm.app is not None:
+                self.sm_counters[sm.app].sm_time += dt
+
+    def _interval_tick(self) -> None:
+        now = self.engine.now
+        self._account_sm_time(now)
+        self.mem_stats.advance(now)
+        records: list[IntervalRecord] = []
+        counts = self.sm_counts()
+        for app in range(self.n_apps):
+            mem_now = self.mem_stats.apps[app]
+            sm_now = self.sm_counters[app]
+            ellc = sum(
+                p.atds[app].estimated_contention_misses() for p in self.partitions
+            )
+            prog = self.progress[app]
+            dispatched_total = (
+                prog.restarts * prog.spec.blocks_total + prog.blocks_dispatched
+            )
+            inflight = dispatched_total - prog.blocks_finished
+            unfinished = prog.blocks_remaining + inflight
+            records.append(
+                IntervalRecord(
+                    app=app,
+                    start=self._last_interval_end,
+                    end=now,
+                    mem=mem_now.delta(self._mem_snap[app]),
+                    sm=sm_now.delta(self._sm_snap[app]),
+                    ellc_miss=ellc,
+                    sm_count=counts[app],
+                    sm_total=self.config.n_sms,
+                    tb_running=inflight,
+                    tb_unfinished=unfinished,
+                )
+            )
+            self._mem_snap[app] = mem_now.snapshot()
+            self._sm_snap[app] = sm_now.snapshot()
+        for p in self.partitions:
+            for atd in p.atds:
+                atd.reset_counters()
+        self._last_interval_end = now
+        self.interval_history.append(records)
+        for listener in self._interval_listeners:
+            listener(records)
+        self.engine.schedule(self.config.interval_cycles, self._interval_tick)
+
+    # ---------------------------------------------------------- run control
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for sm in self.sms:
+            self._fill_sm(sm)
+        self.engine.schedule(self.config.interval_cycles, self._interval_tick)
+
+    def note_instructions(self, app: int) -> None:
+        """Hook for the instruction-target stop condition."""
+        if self._inst_target is None:
+            return
+        tapp, target = self._inst_target
+        if app == tapp and self.progress[app].instructions >= target:
+            self.engine.stop()
+
+    def run(self, cycles: int) -> int:
+        """Simulate ``cycles`` more core cycles; returns the clock."""
+        self._start()
+        end = self.engine.now + cycles
+        self.engine.run(until=end)
+        self._account_sm_time(self.engine.now)
+        self.mem_stats.advance(self.engine.now)
+        return self.engine.now
+
+    def run_until_instructions(
+        self, app: int, instructions: int, max_cycles: int = 1_000_000_000
+    ) -> int:
+        """Run until ``app`` has issued ``instructions`` (alone-replay mode)."""
+        self._start()
+        self._inst_target = (app, instructions)
+        if self.progress[app].instructions >= instructions:
+            return self.engine.now
+        self.engine.run(until=self.engine.now + max_cycles)
+        self._inst_target = None
+        self._account_sm_time(self.engine.now)
+        self.mem_stats.advance(self.engine.now)
+        if self.progress[app].instructions < instructions:
+            raise RuntimeError(
+                f"app {app} issued only {self.progress[app].instructions} of "
+                f"{instructions} instructions within {max_cycles} cycles"
+            )
+        return self.engine.now
+
+    # -------------------------------------------------------------- control
+
+    def set_priority_app(self, app: int | None) -> None:
+        """Give one app highest memory priority everywhere (MISE/ASM epochs)."""
+        for p in self.partitions:
+            p.set_priority(app)
+
+    def migrate_sms(self, from_app: int, to_app: int, count: int) -> None:
+        """Move ``count`` SMs from one app to another via draining.
+
+        Non-blocking: donor SMs stop accepting blocks now and switch owners
+        when their resident blocks retire, as in the paper's SM Draining.
+        """
+        donors = [sm for sm in self.sms_of(from_app) if not sm.draining]
+        count = min(count, len(donors) - 1)  # never drain an app's last SM
+        if count <= 0:
+            return
+        now_fill = self._fill_sm
+
+        def on_drained(sm: SM) -> None:
+            self._account_sm_time(self.engine.now)
+            sm.assign_app(to_app)
+            now_fill(sm)
+
+        for sm in donors[:count]:
+            self._account_sm_time(self.engine.now)
+            sm.start_draining(on_drained)
+
+    # ------------------------------------------------------------- readouts
+
+    def ipc(self, app: int) -> float:
+        """Aggregate instructions per cycle for ``app`` so far."""
+        now = self.engine.now
+        return self.progress[app].instructions / now if now else 0.0
+
+    def bandwidth_utilization(self, app: int | None = None) -> float:
+        """Fraction of total data-bus capacity used (by one app or all)."""
+        now = self.engine.now
+        if now == 0:
+            return 0.0
+        capacity = now * self.config.n_partitions
+        if app is None:
+            used = sum(a.data_bus_time for a in self.mem_stats.apps)
+        else:
+            used = self.mem_stats.apps[app].data_bus_time
+        return used / capacity
+
+    def bandwidth_breakdown(self) -> dict[str, float]:
+        """Fig. 2b decomposition: per-app data, wasted, and idle fractions."""
+        now = self.engine.now
+        capacity = now * self.config.n_partitions
+        if capacity == 0:
+            return {"idle": 1.0, "wasted": 0.0}
+        busy = sum(p.busy_time for p in self.partitions)
+        out: dict[str, float] = {}
+        data_total = 0
+        for app in range(self.n_apps):
+            d = self.mem_stats.apps[app].data_bus_time
+            out[f"app{app}"] = d / capacity
+            data_total += d
+        out["wasted"] = max(0.0, (busy - data_total) / capacity)
+        out["idle"] = max(0.0, (capacity - busy) / capacity)
+        return out

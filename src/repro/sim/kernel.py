@@ -1,0 +1,219 @@
+"""Synthetic GPGPU kernel descriptions and their address streams.
+
+The paper drives GPGPU-Sim with 15 real CUDA kernels; we substitute
+parameterized synthetic kernels (see DESIGN.md §2).  A :class:`KernelSpec`
+captures exactly the characteristics the DASE model is sensitive to:
+
+* **memory intensity** — mean compute instructions between memory
+  instructions per warp (``compute_per_mem``);
+* **locality** — row-buffer-friendly streaming vs random access, and cache
+  reuse via a per-application hot working set (``reuse_fraction`` /
+  ``working_set_lines``);
+* **TLP** — warps per block and the total number of thread blocks
+  (Eq. 24's TB_sum limit);
+* **coalescing** — memory requests generated per memory instruction.
+
+Each application owns a disjoint slice of the address space so concurrent
+kernels never share data, only hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+
+class AccessPattern(enum.Enum):
+    """Spatial behaviour of the non-reuse part of the address stream."""
+
+    STREAM = "stream"  # sequential lines: high row locality, high BLP
+    STRIDED = "strided"  # fixed stride in lines: moderate row locality
+    RANDOM = "random"  # uniform over the working set: poor row locality
+
+
+#: Address-space slice reserved per application, in cache lines (512 MB).
+APP_SPACE_LINES = 1 << 22
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one synthetic GPGPU application."""
+
+    name: str
+    compute_per_mem: float  # mean compute instructions per memory instruction
+    pattern: AccessPattern = AccessPattern.STREAM
+    warps_per_block: int = 6
+    blocks_total: int = 10_000  # total thread blocks the grid launches
+    insts_per_warp: int = 4_000  # instruction budget per warp
+    accesses_per_mem_inst: int = 1  # >1 models uncoalesced accesses
+    wide_fraction: float = 0.0  # fraction of accesses touching TWO
+    # consecutive lines (one 256 B granule: same partition, same DRAM row,
+    # in flight together) — this is where coalesced kernels get their
+    # row-buffer locality, so it controls the saturated DRAM efficiency
+    store_fraction: float = 0.0  # fraction of memory instructions that are
+    # stores: they consume memory-system bandwidth but do not block the
+    # warp (write-through, no write-allocate, fire-and-forget)
+    working_set_lines: int = 1 << 16  # footprint of RANDOM / reuse accesses
+    reuse_fraction: float = 0.0  # fraction of accesses to the hot set
+    hot_set_lines: int = 2_048  # size of the cache-resident hot set
+    stride_lines: int = 1  # stride for STRIDED pattern
+    burst_jitter: float = 0.3  # relative jitter on compute burst lengths
+    max_resident_blocks: int | None = None  # per-SM occupancy limit (models
+    # register/shared-memory pressure; low values make the kernel
+    # latency-sensitive because TLP can no longer hide memory time)
+
+    def __post_init__(self) -> None:
+        if self.compute_per_mem < 0:
+            raise ValueError("compute_per_mem must be non-negative")
+        if not 0.0 <= self.reuse_fraction <= 1.0:
+            raise ValueError("reuse_fraction must be in [0, 1]")
+        if not 0.0 <= self.wide_fraction <= 1.0:
+            raise ValueError("wide_fraction must be in [0, 1]")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        if self.warps_per_block < 1 or self.blocks_total < 1:
+            raise ValueError("kernel needs at least one block of one warp")
+        if self.insts_per_warp < 2:
+            raise ValueError("warps must run at least two instructions")
+        if self.accesses_per_mem_inst < 1:
+            raise ValueError("memory instructions touch at least one line")
+        if self.working_set_lines < 1 or self.hot_set_lines < 1:
+            raise ValueError("working sets must be non-empty")
+
+    @property
+    def mem_fraction(self) -> float:
+        """Fraction of instructions that are memory instructions."""
+        return 1.0 / (1.0 + self.compute_per_mem)
+
+
+class WarpStream:
+    """Deterministic per-warp instruction/address generator.
+
+    A warp alternates compute bursts and memory instructions until its
+    instruction budget is spent.  Streams are reproducible: the RNG is seeded
+    from ``(app seed, block id, warp id)`` so a shared run and its
+    matched-instruction alone replay see identical behaviour.
+    """
+
+    __slots__ = (
+        "spec", "_rng", "_cursor", "_region_base", "_hot_base",
+        "remaining_insts", "_line_bytes",
+    )
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        app_index: int,
+        block_id: int,
+        warp_id: int,
+        seed: int,
+        line_bytes: int,
+    ) -> None:
+        self.spec = spec
+        self._rng = random.Random(f"{seed}/{app_index}/{block_id}/{warp_id}")
+        self._line_bytes = line_bytes
+        base = app_index * APP_SPACE_LINES
+        self._hot_base = base
+        # Streaming regions start past the hot set, one disjoint region per
+        # warp, sized to the warp's worst-case footprint.
+        footprint = max(
+            2,
+            spec.insts_per_warp
+            * spec.accesses_per_mem_inst
+            * max(spec.stride_lines, 2),
+        )
+        warp_global = block_id * spec.warps_per_block + warp_id
+        region = base + spec.hot_set_lines + (warp_global * footprint) % (
+            APP_SPACE_LINES - spec.hot_set_lines - footprint
+        )
+        self._region_base = region & ~1  # granule-aligned for wide accesses
+        self._cursor = 0
+        self.remaining_insts = spec.insts_per_warp
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_insts <= 0
+
+    def next_compute_burst(self) -> int:
+        """Length of the next compute burst, in instructions (may be 0)."""
+        spec = self.spec
+        mean = spec.compute_per_mem
+        if mean <= 0:
+            burst = 0
+        else:
+            jitter = spec.burst_jitter
+            lo = max(0.0, mean * (1.0 - jitter))
+            hi = mean * (1.0 + jitter)
+            burst = int(round(self._rng.uniform(lo, hi)))
+        burst = min(burst, max(0, self.remaining_insts - 1))
+        self.remaining_insts -= burst
+        return burst
+
+    def next_mem_access(self) -> tuple[list[int], bool]:
+        """(byte addresses, is_store) for the next memory instruction."""
+        is_store = (
+            self.spec.store_fraction > 0.0
+            and self._rng.random() < self.spec.store_fraction
+        )
+        return self.next_mem_addresses(), is_store
+
+    def next_mem_addresses(self) -> list[int]:
+        """Byte addresses touched by the next memory instruction.
+
+        A *wide* access (``wide_fraction``) touches two consecutive lines
+        aligned to one interleave granule, so both land in the same
+        partition and DRAM row and are outstanding together — the FR-FCFS
+        controller then serves the second as a row hit.
+        """
+        spec = self.spec
+        self.remaining_insts -= 1
+        rng = self._rng
+        out: list[int] = []
+        for _ in range(spec.accesses_per_mem_inst):
+            wide = spec.wide_fraction > 0.0 and rng.random() < spec.wide_fraction
+            if spec.reuse_fraction > 0.0 and rng.random() < spec.reuse_fraction:
+                line = self._hot_base + rng.randrange(spec.hot_set_lines)
+                wide = False  # hot-set lines are cache-resident singles
+            elif spec.pattern is AccessPattern.RANDOM:
+                line = self._region_base + rng.randrange(spec.working_set_lines)
+                if wide:
+                    line &= ~1
+            else:  # STREAM / STRIDED
+                if wide:
+                    self._cursor = (self._cursor + 1) & ~1  # granule-align
+                line = self._region_base + self._cursor
+                self._cursor += 2 if wide else spec.stride_lines
+            out.append(line * self._line_bytes)
+            if wide:
+                out.append((line + 1) * self._line_bytes)
+        return out
+
+
+@dataclass
+class KernelProgress:
+    """Mutable run-time bookkeeping for one launched kernel."""
+
+    spec: KernelSpec
+    blocks_dispatched: int = 0
+    blocks_finished: int = 0
+    restarts: int = 0
+    instructions: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def blocks_remaining(self) -> int:
+        return self.spec.blocks_total - self.blocks_dispatched
+
+    def next_block_id(self) -> int:
+        """Dispatch the next thread block, restarting the grid if exhausted.
+
+        The paper's methodology restarts an application that finishes before
+        the 5M-cycle window closes; restarting the grid reproduces that.
+        """
+        if self.blocks_remaining <= 0:
+            self.restarts += 1
+            self.blocks_dispatched = 0
+        bid = self.blocks_dispatched
+        self.blocks_dispatched += 1
+        return bid + self.restarts * self.spec.blocks_total

@@ -1,0 +1,300 @@
+"""Streaming Multiprocessor model.
+
+Warps resident on an SM alternate compute bursts and memory instructions.
+Ready warps share the SM's issue bandwidth equally — a processor-sharing
+queue, simulated exactly with the classic virtual-time construction so the
+engine only sees one event per burst completion instead of one per cycle.
+
+The SM stalls (the paper's α) when *every* resident warp is blocked on
+memory: that is precisely when TLP fails to hide memory latency, the
+condition DASE's Eq. 15 models.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import GPUConfig
+from repro.sim.cache import SetAssocCache
+from repro.sim.engine import Engine
+from repro.sim.kernel import WarpStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.gpu import GPU
+
+
+class WarpState(enum.Enum):
+    READY = "ready"  # executing a compute burst (sharing issue slots)
+    BLOCKED = "blocked"  # waiting on outstanding memory requests
+    DONE = "done"
+
+
+class WarpRT:
+    """Run-time state of one resident warp."""
+
+    __slots__ = ("stream", "block", "state", "pending", "work", "vfinish")
+
+    def __init__(self, stream: WarpStream, block: "ThreadBlockRT") -> None:
+        self.stream = stream
+        self.block = block
+        self.state = WarpState.BLOCKED  # set READY on first burst
+        self.pending = 0  # outstanding memory responses
+        self.work = 0  # instructions in the current burst (incl. mem inst)
+        self.vfinish = 0.0
+
+
+class ThreadBlockRT:
+    """Run-time state of one resident thread block."""
+
+    __slots__ = ("app", "block_id", "warps_total", "warps_done")
+
+    def __init__(self, app: int, block_id: int, warps_total: int) -> None:
+        self.app = app
+        self.block_id = block_id
+        self.warps_total = warps_total
+        self.warps_done = 0
+
+    @property
+    def done(self) -> bool:
+        return self.warps_done >= self.warps_total
+
+
+class SM:
+    """One streaming multiprocessor.
+
+    Owned by at most one application at a time; ownership changes only
+    through the draining protocol (:meth:`start_draining` →
+    ``on_drained`` callback → reassignment by the dispatcher).
+    """
+
+    def __init__(self, engine: Engine, config: GPUConfig, sm_id: int, gpu: "GPU") -> None:
+        self.engine = engine
+        self.config = config
+        self.sm_id = sm_id
+        self.gpu = gpu
+
+        self.app: int | None = None
+        self.blocks: list[ThreadBlockRT] = []
+        self.draining = False
+        self.on_drained: Callable[["SM"], None] | None = None
+
+        # Processor-sharing state.
+        self._V = 0.0  # virtual time
+        self._t_last = 0  # real time of last advance
+        self._n_active = 0
+        self._heap: list[tuple[float, int, WarpRT]] = []
+        self._seq = 0
+        self._gen = 0  # generation token for lazy event invalidation
+        self._blocked = 0  # resident warps waiting on memory
+
+        # α accounting (owned-app attribution happens at advance time).
+        self.busy_time = 0.0
+        self.stall_time = 0.0
+
+        # Private L1 data cache (Table 2), invalidated on ownership change.
+        self.l1: SetAssocCache | None = (
+            SetAssocCache(config.l1) if config.l1_enabled else None
+        )
+        line = config.l2.line_bytes
+        self._l1_line_shift = line.bit_length() - 1
+        self._l1_set_mask = config.l1.n_sets - 1
+        self._l1_set_bits = config.l1.n_sets.bit_length() - 1
+
+    # ------------------------------------------------------------- capacity
+
+    def max_resident_blocks(
+        self, warps_per_block: int, kernel_limit: int | None = None
+    ) -> int:
+        by_warps = self.config.max_warps_per_sm // warps_per_block
+        limit = min(self.config.max_blocks_per_sm, by_warps)
+        if kernel_limit is not None:
+            limit = min(limit, kernel_limit)
+        return max(0, limit)
+
+    def can_accept_block(
+        self, warps_per_block: int, kernel_limit: int | None = None
+    ) -> bool:
+        if self.draining or self.app is None:
+            return False
+        return len(self.blocks) < self.max_resident_blocks(
+            warps_per_block, kernel_limit
+        )
+
+    @property
+    def resident_warps(self) -> int:
+        return self._n_active + self._blocked
+
+    # --------------------------------------------------------------- timing
+
+    def _advance(self, now: int) -> None:
+        dt = now - self._t_last
+        if dt <= 0:
+            return
+        if self._n_active > 0:
+            self._V += dt * self.config.issue_width / self._n_active
+            self.busy_time += dt
+            if self.app is not None:
+                self.gpu.sm_counters[self.app].busy_time += dt
+        elif self._blocked > 0:
+            self.stall_time += dt
+            if self.app is not None:
+                self.gpu.sm_counters[self.app].stall_time += dt
+        self._t_last = now
+
+    def _reschedule(self) -> None:
+        """Re-arm the burst-completion event after any state change."""
+        self._gen += 1
+        if not self._heap or self._n_active == 0:
+            return
+        gen = self._gen
+        vfirst = self._heap[0][0]
+        dt = (vfirst - self._V) * self._n_active / self.config.issue_width
+        fire_at = self._t_last + max(0, int(dt + 0.999999))
+        self.engine.at(max(fire_at, self.engine.now), lambda: self._on_completion(gen))
+
+    def _on_completion(self, gen: int) -> None:
+        if gen != self._gen:
+            return  # stale event: state changed since scheduling
+        now = self.engine.now
+        self._advance(now)
+        eps = 1e-7 * max(1.0, abs(self._V))
+        finished: list[WarpRT] = []
+        while self._heap and self._heap[0][0] <= self._V + eps:
+            _, _, warp = heapq.heappop(self._heap)
+            self._n_active -= 1
+            finished.append(warp)
+        for warp in finished:
+            self._burst_done(warp)
+        self._reschedule()
+
+    # ----------------------------------------------------------- warp logic
+
+    def add_block(self, block: ThreadBlockRT, streams: list[WarpStream]) -> None:
+        if self.app is None or block.app != self.app:
+            raise RuntimeError("block dispatched to an SM owned by another app")
+        self.blocks.append(block)
+        now = self.engine.now
+        self._advance(now)
+        for stream in streams:
+            warp = WarpRT(stream, block)
+            self._start_burst(warp)
+        self._reschedule()
+
+    def _start_burst(self, warp: WarpRT) -> None:
+        """Begin the warp's next compute burst (caller advanced the clock)."""
+        burst = warp.stream.next_compute_burst()
+        warp.work = burst + 1  # +1: the memory instruction itself
+        warp.state = WarpState.READY
+        warp.vfinish = self._V + warp.work
+        self._seq += 1
+        heapq.heappush(self._heap, (warp.vfinish, self._seq, warp))
+        self._n_active += 1
+
+    def _l1_lookup(self, addr: int, app: int) -> bool:
+        """Probe/fill the private L1 for one address; True on hit."""
+        if self.l1 is None:
+            return False
+        line = addr >> self._l1_line_shift
+        cache_set = line & self._l1_set_mask
+        tag = line >> self._l1_set_bits
+        return self.l1.access(cache_set, tag, app)
+
+    def _burst_done(self, warp: WarpRT) -> None:
+        """A warp finished its compute burst + memory instruction issue."""
+        app = self.app if self.app is not None else warp.block.app
+        if self.app is not None:
+            self.gpu.sm_counters[self.app].instructions += warp.work
+            self.gpu.progress[self.app].instructions += warp.work
+            self.gpu.note_instructions(self.app)
+        addresses, is_store = warp.stream.next_mem_access()
+        counters = self.gpu.sm_counters[app]
+        if is_store:
+            # Write-through, no-allocate: the store consumes memory-system
+            # bandwidth but the warp does not wait for it.
+            for addr in addresses:
+                self.gpu.issue_memory_request(self, warp, addr, wait=False)
+            warp.state = WarpState.BLOCKED
+            warp.pending = 1
+            self._blocked += 1
+            self.engine.schedule(
+                self.config.l1_latency, lambda: self.memory_response(warp)
+            )
+            return
+        if self.l1 is None:
+            misses = addresses
+        else:
+            misses = []
+            for addr in addresses:
+                if self._l1_lookup(addr, app):
+                    counters.l1_hits += 1
+                else:
+                    counters.l1_misses += 1
+                    misses.append(addr)
+        warp.state = WarpState.BLOCKED
+        self._blocked += 1
+        if not misses:
+            # Every line hit in the L1: the warp resumes after the hit
+            # latency without touching the shared memory system.
+            warp.pending = 1
+            self.engine.schedule(
+                self.config.l1_latency, lambda: self.memory_response(warp)
+            )
+            return
+        warp.pending = len(misses)
+        for addr in misses:
+            self.gpu.issue_memory_request(self, warp, addr)
+
+    def memory_response(self, warp: WarpRT) -> None:
+        """One of the warp's outstanding requests returned."""
+        warp.pending -= 1
+        if warp.pending > 0:
+            return
+        now = self.engine.now
+        self._advance(now)
+        self._blocked -= 1
+        if warp.stream.done:
+            warp.state = WarpState.DONE
+            self._warp_finished(warp)
+        else:
+            self._start_burst(warp)
+            self._reschedule()
+
+    def _warp_finished(self, warp: WarpRT) -> None:
+        block = warp.block
+        block.warps_done += 1
+        if block.done:
+            self.blocks.remove(block)
+            self.gpu.block_finished(self, block)
+            if self.draining and not self.blocks:
+                self._drained()
+
+    # ------------------------------------------------------------- draining
+
+    def start_draining(self, on_drained: Callable[["SM"], None]) -> None:
+        """Stop accepting blocks; call back once resident work finishes."""
+        self.draining = True
+        self.on_drained = on_drained
+        if not self.blocks:
+            self._drained()
+
+    def _drained(self) -> None:
+        self.draining = False
+        cb, self.on_drained = self.on_drained, None
+        self.app = None
+        if cb is not None:
+            cb(self)
+
+    def assign_app(self, app: int | None) -> None:
+        if self.blocks:
+            raise RuntimeError("cannot reassign an SM with resident blocks")
+        if self.l1 is not None and app != self.app:
+            self.l1.flush()  # no cross-application L1 leakage
+        self.app = app
+
+    # ------------------------------------------------------------ wall time
+
+    def account_wall_time(self, now: int) -> None:
+        """Fold elapsed time into counters (interval boundaries, run end)."""
+        self._advance(now)

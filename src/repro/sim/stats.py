@@ -1,0 +1,145 @@
+"""Per-application hardware counters (paper Table 1) and time integrators.
+
+Everything the DASE/MISE/ASM estimators read lives here: served-request
+counts, per-request residence time, extra row-buffer misses, bank-level
+parallelism integrals, SM stall fractions.  Counters accumulate continuously;
+the GPU snapshots and differences them at interval boundaries, mirroring the
+paper's "reset all counters at the beginning of each estimation interval".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AppMemCounters:
+    """Monotonic per-application memory-system counters."""
+
+    requests_served: int = 0  # Request_i: DRAM requests completed
+    time_request: int = 0  # Σ (completion − schedule) over served requests
+    erb_miss: int = 0  # ERBMiss_i: detected extra row-buffer misses
+    row_hits: int = 0
+    row_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    data_bus_time: int = 0  # core cycles of data-bus occupancy
+    # Time integrals for BLP accounting (advanced by MemoryStats.advance):
+    demanded_bank_integral: float = 0.0  # ∫ #banks executing-or-queued-for i
+    executing_bank_integral: float = 0.0  # ∫ #banks executing i
+    outstanding_time: float = 0.0  # ∫ [i has ≥1 outstanding DRAM request]
+
+    def snapshot(self) -> "AppMemCounters":
+        return AppMemCounters(**vars(self))
+
+    def delta(self, earlier: "AppMemCounters") -> "AppMemCounters":
+        """Counter increments since ``earlier`` (an older snapshot)."""
+        return AppMemCounters(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+
+class MemoryStats:
+    """Shared time-integrator across all memory partitions.
+
+    Partitions mutate instantaneous occupancy numbers (outstanding requests,
+    executing banks, demanded banks) through this hub; :meth:`advance` folds
+    elapsed time into the integrals *before* each mutation, which makes the
+    integrals exact piecewise-constant integrals regardless of event order.
+    """
+
+    def __init__(self, n_apps: int) -> None:
+        self.n_apps = n_apps
+        self.apps = [AppMemCounters() for _ in range(n_apps)]
+        self._last_t = 0
+        # Instantaneous state per app:
+        self._outstanding = [0] * n_apps  # DRAM requests in flight (all parts)
+        self._executing = [0] * n_apps  # banks currently servicing app
+        self._demanded = [0] * n_apps  # (partition, bank) pairs demanded
+        # Partition busy-time accounting (for the Fig. 2b decomposition):
+        self._active_banks_total = 0
+        self.busy_time = 0.0  # ∫ [any bank active anywhere]
+
+    def advance(self, now: int) -> None:
+        dt = now - self._last_t
+        if dt <= 0:
+            return
+        self._last_t = now
+        for i in range(self.n_apps):
+            if self._outstanding[i] > 0:
+                self.apps[i].outstanding_time += dt
+            self.apps[i].demanded_bank_integral += dt * self._demanded[i]
+            self.apps[i].executing_bank_integral += dt * self._executing[i]
+        if self._active_banks_total > 0:
+            self.busy_time += dt
+
+    # --- mutations (caller must advance(now) first) -----------------------
+
+    def request_enqueued(self, app: int) -> None:
+        self._outstanding[app] += 1
+
+    def request_completed(self, app: int) -> None:
+        self._outstanding[app] -= 1
+
+    def bank_started(self, app: int) -> None:
+        self._executing[app] += 1
+        self._active_banks_total += 1
+
+    def bank_finished(self, app: int) -> None:
+        self._executing[app] -= 1
+        self._active_banks_total -= 1
+
+    def demanded_changed(self, app: int, delta: int) -> None:
+        self._demanded[app] += delta
+
+    # --- reads -------------------------------------------------------------
+
+    def outstanding(self, app: int) -> int:
+        return self._outstanding[app]
+
+
+@dataclass
+class AppSMCounters:
+    """Per-application SM-side counters (α and instruction throughput)."""
+
+    instructions: int = 0  # issued instructions (compute + memory)
+    busy_time: float = 0.0  # Σ over SMs of cycles with ≥1 ready warp
+    stall_time: float = 0.0  # Σ over SMs of cycles all-resident-warps blocked
+    sm_time: float = 0.0  # Σ over SMs of wall-clock cycles assigned
+    l1_hits: int = 0  # private L1 data-cache hits
+    l1_misses: int = 0
+
+    def snapshot(self) -> "AppSMCounters":
+        return AppSMCounters(**vars(self))
+
+    def delta(self, earlier: "AppSMCounters") -> "AppSMCounters":
+        return AppSMCounters(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+    @property
+    def alpha(self) -> float:
+        """Fraction of SM time stalled waiting on memory (paper's α)."""
+        denom = self.busy_time + self.stall_time
+        return self.stall_time / denom if denom > 0 else 0.0
+
+
+@dataclass
+class IntervalRecord:
+    """Everything an estimator sees about one application in one interval."""
+
+    app: int
+    start: int
+    end: int
+    mem: AppMemCounters
+    sm: AppSMCounters
+    ellc_miss: float  # scaled contention-miss estimate from the ATDs
+    sm_count: int  # SMs assigned during the interval
+    sm_total: int
+    tb_running: int  # thread blocks resident (TB_shared of Eq. 24)
+    tb_unfinished: int  # thread blocks not yet finished (TB_sum of Eq. 24)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start

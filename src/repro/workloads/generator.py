@@ -1,0 +1,97 @@
+"""Random synthetic workload generation.
+
+Beyond the 15 calibrated Table 3 applications, experiments (and stress
+tests) sometimes need arbitrary kernels with controlled characteristics.
+The generator draws :class:`~repro.sim.kernel.KernelSpec`s from seeded
+distributions over the axes that matter to the DASE model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.kernel import AccessPattern, KernelSpec
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Parameter ranges for random kernels.
+
+    The defaults span the calibrated suite's range: memory intensity from
+    compute-bound (cpm ≈ 120) to bandwidth-hog (cpm ≈ 3), all three access
+    patterns, realistic reuse, and occupancy-limited variants.
+    """
+
+    min_compute_per_mem: int = 3
+    max_compute_per_mem: int = 120
+    patterns: tuple[AccessPattern, ...] = tuple(AccessPattern)
+    max_reuse: float = 0.6
+    min_warps_per_block: int = 4
+    max_warps_per_block: int = 8
+    occupancy_limited_fraction: float = 0.25
+    min_working_set_lines: int = 1 << 12
+    max_working_set_lines: int = 1 << 17
+
+    def __post_init__(self) -> None:
+        if self.min_compute_per_mem < 0:
+            raise ValueError("compute_per_mem cannot be negative")
+        if self.min_compute_per_mem > self.max_compute_per_mem:
+            raise ValueError("min_compute_per_mem exceeds max")
+        if not 0.0 <= self.max_reuse <= 1.0:
+            raise ValueError("max_reuse must be in [0, 1]")
+        if not 0.0 <= self.occupancy_limited_fraction <= 1.0:
+            raise ValueError("occupancy_limited_fraction must be in [0, 1]")
+
+
+class WorkloadGenerator:
+    """Seeded generator of random kernels and workload mixes."""
+
+    def __init__(self, seed: int = 2016, profile: GeneratorProfile | None = None):
+        self.rng = random.Random(seed)
+        self.profile = profile or GeneratorProfile()
+        self._count = 0
+
+    def kernel(self, name: str | None = None) -> KernelSpec:
+        """Draw one random kernel."""
+        p = self.profile
+        rng = self.rng
+        self._count += 1
+        name = name or f"rnd{self._count:03d}"
+        pattern = rng.choice(list(p.patterns))
+        reuse = rng.uniform(0.0, p.max_reuse) if rng.random() < 0.5 else 0.0
+        occupancy = (
+            rng.randint(1, 3)
+            if rng.random() < p.occupancy_limited_fraction
+            else None
+        )
+        # Log-uniform memory intensity so both extremes are represented.
+        import math
+
+        lo, hi = math.log(p.min_compute_per_mem + 1), math.log(
+            p.max_compute_per_mem + 1
+        )
+        cpm = int(round(math.exp(rng.uniform(lo, hi)))) - 1
+        return KernelSpec(
+            name,
+            compute_per_mem=max(0, cpm),
+            pattern=pattern,
+            warps_per_block=rng.randint(
+                p.min_warps_per_block, p.max_warps_per_block
+            ),
+            reuse_fraction=reuse,
+            hot_set_lines=rng.choice([512, 1024, 2048, 4096]),
+            working_set_lines=rng.randint(
+                p.min_working_set_lines, p.max_working_set_lines
+            ),
+            max_resident_blocks=occupancy,
+        )
+
+    def workload(self, n_apps: int) -> list[KernelSpec]:
+        """Draw a multiprogrammed workload of ``n_apps`` random kernels."""
+        if n_apps < 1:
+            raise ValueError("workloads need at least one application")
+        return [self.kernel() for _ in range(n_apps)]
+
+    def workloads(self, count: int, n_apps: int) -> list[list[KernelSpec]]:
+        return [self.workload(n_apps) for _ in range(count)]

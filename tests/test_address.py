@@ -1,0 +1,145 @@
+"""Unit tests for address decomposition (256 B partition interleave)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CacheConfig, GPUConfig
+from repro.sim.address import AddressMapper
+
+CFG = GPUConfig()
+
+
+@pytest.fixture()
+def mapper():
+    return AddressMapper(CFG)
+
+
+def test_same_line_same_coordinates(mapper):
+    a = mapper.decode(0x1000)
+    b = mapper.decode(0x1000 + 127)  # same 128 B line
+    assert a == b
+
+
+def test_granule_pairs_share_a_partition_and_row(mapper):
+    """Two consecutive lines of one 256 B granule — a *wide* access — land
+    in the same partition, bank and row (the locality wide accesses rely on)."""
+    for granule in (0, 7, 123):
+        line = 2 * granule
+        a = mapper.decode(line * CFG.l2.line_bytes)
+        b = mapper.decode((line + 1) * CFG.l2.line_bytes)
+        assert a.partition == b.partition
+        assert a.bank == b.bank
+        assert a.row == b.row
+        assert b.local_line == a.local_line + 1
+
+
+def test_granules_interleave_across_partitions(mapper):
+    partitions = [
+        mapper.decode(2 * g * CFG.l2.line_bytes).partition
+        for g in range(CFG.n_partitions)
+    ]
+    assert sorted(partitions) == list(range(CFG.n_partitions))
+
+
+def test_local_lines_walk_rows_then_banks(mapper):
+    """Consecutive partition-local lines fill a row, then the next bank."""
+    first = mapper.decode(mapper.encode(0, 0))
+    for i in range(CFG.lines_per_row):
+        d = mapper.decode(mapper.encode(0, i))
+        assert d.partition == 0
+        assert d.bank == first.bank
+        assert d.row == first.row
+        assert d.local_line == i
+    rolled = mapper.decode(mapper.encode(0, CFG.lines_per_row))
+    assert rolled.bank == (first.bank + 1) % CFG.n_banks
+
+
+def test_bank_wraps_to_next_row(mapper):
+    local = CFG.lines_per_row * CFG.n_banks
+    d = mapper.decode(mapper.encode(0, local))
+    assert d.bank == 0
+    assert d.row == 1
+
+
+def test_cache_set_within_range(mapper):
+    for addr in (0, 12345 * 128, 999_999_999):
+        d = mapper.decode(addr)
+        assert 0 <= d.cache_set < CFG.l2.n_sets
+
+
+def test_negative_address_rejected(mapper):
+    with pytest.raises(ValueError):
+        mapper.decode(-1)
+
+
+def test_encode_validates(mapper):
+    with pytest.raises(ValueError):
+        mapper.encode(CFG.n_partitions, 0)
+    with pytest.raises(ValueError):
+        mapper.encode(0, -1)
+
+
+def test_non_power_of_two_line_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=96 * 100, line_bytes=100, assoc=8)
+
+
+def test_non_power_of_two_interleave_rejected():
+    with pytest.raises(ValueError):
+        GPUConfig(interleave_lines=3)
+
+
+def test_single_line_interleave_supported():
+    cfg = GPUConfig(interleave_lines=1)
+    m = AddressMapper(cfg)
+    parts = [m.decode(i * 128).partition for i in range(cfg.n_partitions)]
+    assert sorted(parts) == list(range(cfg.n_partitions))
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_property_decode_encode_roundtrip(addr):
+    m = AddressMapper(CFG)
+    d = m.decode(addr)
+    line_addr = d.line * CFG.l2.line_bytes
+    assert m.encode(d.partition, d.local_line) == line_addr
+    assert m.line_of(addr) == d.line
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_property_set_tag_roundtrip(addr):
+    """(cache_set, tag) reconstructs the partition-local line number."""
+    m = AddressMapper(CFG)
+    d = m.decode(addr)
+    assert d.local_line == d.tag * CFG.l2.n_sets + d.cache_set
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_property_bank_row_roundtrip(addr):
+    """(row, bank, line-within-row) reconstructs the local line number."""
+    m = AddressMapper(CFG)
+    d = m.decode(addr)
+    within = d.local_line % CFG.lines_per_row
+    assert m.local_coords(d.bank, d.row, within) == d.local_line
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=2**24),
+)
+def test_property_encode_decode_roundtrip(partition, local_line):
+    m = AddressMapper(CFG)
+    d = m.decode(m.encode(partition, local_line))
+    assert d.partition == partition
+    assert d.local_line == local_line
+
+
+@given(st.integers(min_value=0, max_value=2**39))
+def test_property_partition_balance(base):
+    """Any 12-line aligned window covers every partition equally."""
+    m = AddressMapper(CFG)
+    window = CFG.n_partitions * CFG.interleave_lines
+    start = (base // window) * window
+    parts = [m.decode((start + i) * 128).partition for i in range(window)]
+    from collections import Counter
+
+    assert all(v == CFG.interleave_lines for v in Counter(parts).values())

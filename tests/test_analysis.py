@@ -1,0 +1,93 @@
+"""Tests for the post-hoc results analysis."""
+
+import pytest
+
+from repro.analysis import (
+    available_results,
+    full_summary,
+    render_summary,
+    summarize_accuracy,
+    summarize_fig9,
+)
+from repro.harness.persist import save_result
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    save_result(
+        "fig5_two_app_error",
+        {"per_workload": {}, "means": {"DASE": 0.06, "MISE": 0.33, "ASM": 0.29}},
+        directory=tmp_path,
+    )
+    save_result(
+        "fig9_dase_fair",
+        {
+            "workloads": ["SD+SB"],
+            "unfairness_even": {"SD+SB": 4.0},
+            "unfairness_fair": {"SD+SB": 2.0},
+            "hspeedup_even": {"SD+SB": 0.3},
+            "hspeedup_fair": {"SD+SB": 0.4},
+        },
+        directory=tmp_path,
+    )
+    save_result(
+        "fig2_unfairness",
+        {"unfairness": {"SD+SB": 4.5, "SD+VA": 3.0}},
+        directory=tmp_path,
+    )
+    return tmp_path
+
+
+def test_available_results(results_dir):
+    names = available_results(results_dir)
+    assert "fig5_two_app_error" in names
+    assert available_results(results_dir / "nope") == []
+
+
+def test_accuracy_rows(results_dir):
+    rows = summarize_accuracy("fig5_two_app_error", results_dir)
+    by_model = {r.quantity: r for r in rows}
+    dase = by_model["DASE mean error"]
+    assert dase.measured == "6.0%"
+    assert dase.paper == "8.8%"
+    assert dase.verdict == "shape-ok"
+    assert by_model["MISE mean error"].verdict == "shape-ok"
+
+
+def test_accuracy_flags_suspicious_baseline(tmp_path):
+    save_result(
+        "fig5_two_app_error",
+        {"means": {"DASE": 0.30, "MISE": 0.31}},
+        directory=tmp_path,
+    )
+    rows = summarize_accuracy("fig5_two_app_error", tmp_path)
+    verdicts = {r.quantity: r.verdict for r in rows}
+    assert verdicts["DASE mean error"] == "check"  # too inaccurate
+    assert verdicts["MISE mean error"] == "check"  # too close to DASE
+
+
+def test_fig9_rows(results_dir):
+    rows = summarize_fig9(results_dir)
+    unf = next(r for r in rows if "unfairness" in r.quantity)
+    assert unf.measured == "50.0%"
+    assert unf.verdict == "shape-ok"
+
+
+def test_full_summary_and_render(results_dir):
+    rows = full_summary(results_dir)
+    assert len(rows) >= 5
+    text = render_summary(rows)
+    assert "fig2_unfairness" in text
+    assert "4.50" in text
+
+
+def test_render_empty():
+    assert "no artifacts" in render_summary([])
+
+
+def test_cli_summarize(results_dir, capsys):
+    from repro.cli import main
+
+    assert main(["summarize", "--results-dir", str(results_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "DASE mean error" in out

@@ -1,0 +1,112 @@
+"""Tests for the MBB/NMBB classification (Eqs. 19-22)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.classify import is_mbb, request_max, shared_requests
+from repro.sim.stats import AppMemCounters, AppSMCounters, IntervalRecord
+
+
+def record(
+    app=0,
+    cycles=50_000,
+    requests=0,
+    ellc=0.0,
+    alpha=0.0,
+    sm_count=8,
+) -> IntervalRecord:
+    sm = AppSMCounters(
+        instructions=1000,
+        busy_time=(1 - alpha) * cycles,
+        stall_time=alpha * cycles,
+        sm_time=cycles,
+    )
+    return IntervalRecord(
+        app=app,
+        start=0,
+        end=cycles,
+        mem=AppMemCounters(requests_served=requests),
+        sm=sm,
+        ellc_miss=ellc,
+        sm_count=sm_count,
+        sm_total=16,
+        tb_running=8,
+        tb_unfinished=10_000,
+    )
+
+
+CFG = GPUConfig()
+RMAX = request_max(50_000, CFG)
+
+
+class TestRequestMax:
+    def test_formula(self):
+        expected = 50_000 * CFG.n_partitions / CFG.time_per_request * 0.6
+        assert RMAX == pytest.approx(expected)
+
+    def test_scales_with_cycles(self):
+        assert request_max(100_000, CFG) == pytest.approx(2 * RMAX)
+
+    def test_factor_override(self):
+        cfg = GPUConfig(reqmax_factor=0.8)
+        assert request_max(50_000, cfg) == pytest.approx(RMAX / 0.6 * 0.8)
+
+
+class TestSharedRequests:
+    def test_subtracts_contention_misses(self):
+        assert shared_requests(record(requests=100, ellc=30.0)) == 70.0
+
+    def test_floored_at_one(self):
+        assert shared_requests(record(requests=5, ellc=50.0)) == 1.0
+
+
+class TestClassification:
+    def test_saturating_app_is_mbb(self):
+        r = record(requests=int(RMAX) + 1, alpha=0.9)
+        assert is_mbb(r, [r], CFG)
+
+    def test_idle_memory_system_is_nmbb(self):
+        """Eq. 19: total requests below Requestmax → NMBB."""
+        r = record(requests=int(RMAX * 0.3), alpha=0.9)
+        assert not is_mbb(r, [r], CFG)
+
+    def test_small_share_is_nmbb(self):
+        """Eq. 21: another app saturates the DRAM but this one barely uses
+        it → this one is not bandwidth-bound."""
+        big = record(app=0, requests=int(RMAX))
+        small = record(app=1, requests=int(RMAX * 0.1), alpha=0.9)
+        assert not is_mbb(small, [big, small], CFG)
+
+    def test_eq22_low_alpha_low_rate_is_nmbb(self):
+        """Eq. 22: an app that is not stalling and whose extrapolated
+        request rate stays below Requestmax is NMBB even when the memory
+        system is saturated by others."""
+        partner = record(app=0, requests=int(RMAX * 0.55))
+        this = record(app=1, requests=int(RMAX * 0.5), alpha=0.0)
+        assert not is_mbb(this, [partner, this], CFG)
+
+    def test_eq22_high_alpha_boosts_to_mbb(self):
+        partner = record(app=0, requests=int(RMAX * 0.55))
+        this = record(app=1, requests=int(RMAX * 0.52), alpha=0.6)
+        assert is_mbb(this, [partner, this], CFG)
+
+    def test_alpha_one_short_circuits(self):
+        partner = record(app=0, requests=int(RMAX * 0.6))
+        this = record(app=1, requests=int(RMAX * 0.52), alpha=1.0)
+        assert is_mbb(this, [partner, this], CFG)
+
+    def test_contention_misses_reduce_share(self):
+        """Extra misses inflate raw counts; Eq. 21 uses corrected counts."""
+        partner = record(app=0, requests=int(RMAX * 0.8))
+        this = record(
+            app=1, requests=int(RMAX * 0.5), ellc=RMAX * 0.4, alpha=0.9
+        )
+        assert not is_mbb(this, [partner, this], CFG)
+
+    def test_no_requests_is_nmbb(self):
+        r = record(requests=0, alpha=1.0)
+        assert not is_mbb(r, [r], CFG)
+
+    def test_zero_cycle_interval_is_nmbb(self):
+        r = record(cycles=0, requests=10)
+        assert not is_mbb(r, [r], CFG)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out and "table3" in out
+
+
+def test_table1(capsys):
+    assert main(["table1", "--apps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ATD" in out and "per partition" in out
+
+
+def test_run_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "NOPE"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig_parsers_accept_limit():
+    args = build_parser().parse_args(["fig5", "--limit", "3"])
+    assert args.limit == 3
+    assert args.experiment == "fig5"
+
+
+@pytest.mark.slow
+def test_run_workload_end_to_end(capsys):
+    rc = main(["run", "QR", "CT", "--cycles", "30000", "--models", "DASE"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "unfairness" in out
+    assert "QR" in out and "CT" in out
+    assert "DASE mean error" in out

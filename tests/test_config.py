@@ -1,0 +1,106 @@
+"""Tests for GPUConfig — including that defaults match paper Table 2."""
+
+import pytest
+
+from repro.config import BASELINE, CacheConfig, DRAMTimings, GPUConfig
+
+
+class TestTable2Defaults:
+    """The baseline must be the paper's GTX480-like configuration."""
+
+    def test_sm_count(self):
+        assert BASELINE.n_sms == 16
+
+    def test_max_warps(self):
+        assert BASELINE.max_warps_per_sm == 48
+
+    def test_core_clock(self):
+        assert BASELINE.core_clock_mhz == 1400.0
+
+    def test_memory_controllers(self):
+        assert BASELINE.n_partitions == 6
+
+    def test_banks_per_mc(self):
+        assert BASELINE.n_banks == 16
+
+    def test_dram_clock(self):
+        assert BASELINE.dram_clock_mhz == 924.0
+
+    def test_trp_trcd(self):
+        assert BASELINE.dram.tRP == 12
+        assert BASELINE.dram.tRCD == 12
+
+    def test_l2_total_768kb(self):
+        assert BASELINE.l2.size_bytes * BASELINE.n_partitions == 768 * 1024
+
+    def test_line_size_128b(self):
+        assert BASELINE.l2.line_bytes == 128
+
+    def test_interval_50k(self):
+        assert BASELINE.interval_cycles == 50_000
+
+    def test_atd_8_sampled_sets(self):
+        assert BASELINE.atd_sample_sets == 8
+
+    def test_reqmax_factor(self):
+        assert BASELINE.reqmax_factor == 0.6
+
+
+class TestDerivedQuantities:
+    def test_dram_clock_ratio(self):
+        assert BASELINE.dram_clock_ratio == pytest.approx(1400 / 924)
+
+    def test_dram_cycles_to_core_rounds_up(self):
+        assert BASELINE.dram_cycles_to_core(1) == 2  # 1.51 → 2
+
+    def test_time_per_request_is_burst_in_core_cycles(self):
+        assert BASELINE.time_per_request == BASELINE.dram_cycles_to_core(
+            BASELINE.dram.tBurst
+        )
+
+    def test_lines_per_row(self):
+        assert BASELINE.lines_per_row == 2048 // 128
+
+    def test_row_miss_penalty(self):
+        assert DRAMTimings().row_miss_penalty == 24
+
+    def test_cache_sets_power_of_two(self):
+        assert BASELINE.l2.n_sets & (BASELINE.l2.n_sets - 1) == 0
+
+    def test_with_sms_copy(self):
+        c8 = BASELINE.with_sms(8)
+        assert c8.n_sms == 8
+        assert BASELINE.n_sms == 16  # original untouched
+        assert c8.n_partitions == BASELINE.n_partitions
+
+
+class TestValidation:
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_sms=0)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_partitions=0)
+
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(n_banks=12)
+
+    def test_row_not_multiple_of_line_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(row_bytes=2000)
+
+    def test_bad_reqmax_factor_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(reqmax_factor=0.0)
+        with pytest.raises(ValueError):
+            GPUConfig(reqmax_factor=1.5)
+
+    def test_bad_cache_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=128, assoc=8)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            BASELINE.n_sms = 4  # type: ignore[misc]

@@ -1,0 +1,97 @@
+"""Diagnostic-breakdown invariants of the DASE estimator (pure unit)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.dase import DASE, DASEBreakdown
+from repro.sim.stats import AppMemCounters, AppSMCounters, IntervalRecord
+
+CFG = GPUConfig()
+CYCLES = 50_000
+
+
+def record(**kw):
+    defaults = dict(
+        app=0, requests=2000, ellc=0.0, erb=0, alpha=0.3, sm_count=8,
+        demanded=5.0 * CYCLES, executing=4.0 * CYCLES, outstanding=0.5 * CYCLES,
+    )
+    defaults.update(kw)
+    d = defaults
+    mem = AppMemCounters(
+        requests_served=d["requests"],
+        time_request=60 * d["requests"],
+        erb_miss=d["erb"],
+        demanded_bank_integral=d["demanded"],
+        executing_bank_integral=d["executing"],
+        outstanding_time=d["outstanding"],
+    )
+    sm = AppSMCounters(
+        instructions=10_000,
+        busy_time=(1 - d["alpha"]) * CYCLES * d["sm_count"],
+        stall_time=d["alpha"] * CYCLES * d["sm_count"],
+        sm_time=CYCLES * d["sm_count"],
+    )
+    return IntervalRecord(
+        app=d["app"], start=0, end=CYCLES, mem=mem, sm=sm,
+        ellc_miss=d["ellc"], sm_count=d["sm_count"], sm_total=16,
+        tb_running=8, tb_unfinished=10**6,
+    )
+
+
+def breakdown_for(rec, records=None, **dase_kw) -> DASEBreakdown:
+    model = DASE(CFG, **dase_kw)
+    model.estimate_interval(records or [rec])
+    return model.breakdowns[-1][rec.app]
+
+
+class TestBreakdownInvariants:
+    def test_interference_never_exceeds_stall_time(self):
+        rec = record(alpha=0.25, demanded=80.0 * CYCLES, executing=1.0 * CYCLES,
+                     outstanding=CYCLES, erb=10**6, ellc=10**6)
+        bd = breakdown_for(rec)
+        assert bd.time_interference <= 0.25 * CYCLES + 1e-6
+
+    def test_terms_nonnegative(self):
+        bd = breakdown_for(record())
+        for v in (bd.time_bank, bd.time_rowbuf, bd.time_cache,
+                  bd.time_interference):
+            assert v >= 0.0
+
+    def test_blp_values_recorded(self):
+        rec = record(demanded=6.0 * CYCLES, executing=3.0 * CYCLES,
+                     outstanding=CYCLES)
+        bd = breakdown_for(rec)
+        assert bd.blp == pytest.approx(6.0)
+        assert bd.blp_access == pytest.approx(3.0)
+
+    def test_slowdowns_consistent(self):
+        bd = breakdown_for(record())
+        assert bd.slowdown_all >= 1.0
+        assert bd.slowdown_assigned >= 1.0
+        # All-SM estimate never exceeds the plain SM-ratio extrapolation.
+        assert bd.slowdown_all <= bd.slowdown_assigned * 2 + 1e-9
+
+    def test_blp_divisor_ablation_increases_interference(self):
+        rec = record(alpha=0.9, demanded=6.0 * CYCLES, executing=3.0 * CYCLES,
+                     outstanding=CYCLES)
+        with_div = breakdown_for(rec, use_blp_divisor=True)
+        without = breakdown_for(rec, use_blp_divisor=False)
+        assert without.time_interference >= with_div.time_interference
+
+    def test_mbb_breakdown_has_no_time_terms(self):
+        from repro.core.classify import request_max
+
+        rmax = request_max(CYCLES, CFG)
+        rec = record(requests=int(rmax * 1.1), alpha=0.9)
+        bd = breakdown_for(rec)
+        assert bd.mbb
+        assert bd.time_bank == 0.0
+        assert bd.slowdown_all == bd.slowdown_assigned
+
+    def test_one_row_per_interval_per_app(self):
+        model = DASE(CFG)
+        recs = [record(app=0), record(app=1)]
+        model.estimate_interval(recs)
+        model.estimate_interval(recs)
+        assert len(model.breakdowns) == 2
+        assert len(model.breakdowns[0]) == 2

@@ -1,0 +1,206 @@
+"""Unit tests for the DASE estimator on synthetic interval records."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.classify import request_max
+from repro.core.dase import DASE
+from repro.sim.stats import AppMemCounters, AppSMCounters, IntervalRecord
+
+CFG = GPUConfig()
+CYCLES = 50_000
+RMAX = request_max(CYCLES, CFG)
+
+
+def record(
+    app=0,
+    requests=1000,
+    ellc=0.0,
+    erb=0,
+    alpha=0.0,
+    sm_count=8,
+    demanded=None,
+    executing=None,
+    outstanding=None,
+    time_request=None,
+    tb_running=8,
+    tb_unfinished=100_000,
+) -> IntervalRecord:
+    outstanding = CYCLES * 0.8 if outstanding is None else outstanding
+    demanded = 10.0 * outstanding if demanded is None else demanded
+    executing = 9.0 * outstanding if executing is None else executing
+    time_request = 60 * requests if time_request is None else time_request
+    mem = AppMemCounters(
+        requests_served=requests,
+        time_request=time_request,
+        erb_miss=erb,
+        demanded_bank_integral=demanded,
+        executing_bank_integral=executing,
+        outstanding_time=outstanding,
+    )
+    sm = AppSMCounters(
+        instructions=10_000,
+        busy_time=(1 - alpha) * CYCLES * sm_count,
+        stall_time=alpha * CYCLES * sm_count,
+        sm_time=CYCLES * sm_count,
+    )
+    return IntervalRecord(
+        app=app, start=0, end=CYCLES, mem=mem, sm=sm, ellc_miss=ellc,
+        sm_count=sm_count, sm_total=16, tb_running=tb_running,
+        tb_unfinished=tb_unfinished,
+    )
+
+
+def estimate(records, **kw):
+    model = DASE(CFG, **kw)
+    return model.estimate_interval(records)
+
+
+class TestNMBBPath:
+    def test_no_interference_scales_by_sm_ratio(self):
+        """A clean NMBB app on 8 of 16 SMs: slowdown ≈ 2 (Eq. 23)."""
+        r = record(alpha=0.0, demanded=0, executing=0, erb=0, ellc=0)
+        (est,) = estimate([r])
+        assert est == pytest.approx(2.0)
+
+    def test_interference_raises_estimate(self):
+        quiet = record(alpha=0.0, demanded=0, executing=0)
+        noisy = record(alpha=0.5, demanded=10 * CYCLES, executing=2 * CYCLES,
+                       outstanding=CYCLES)
+        (e_quiet,) = estimate([quiet])
+        (e_noisy,) = estimate([noisy])
+        assert e_noisy > e_quiet
+
+    def test_row_buffer_term_contributes(self):
+        base = record(alpha=0.4, demanded=0, executing=0)
+        rb = record(alpha=0.4, demanded=0, executing=0, erb=3000)
+        (e0,) = estimate([base])
+        (e1,) = estimate([rb])
+        assert e1 > e0
+
+    def test_cache_term_contributes(self):
+        base = record(alpha=0.4, demanded=0, executing=0)
+        cc = record(alpha=0.4, demanded=0, executing=0, ellc=3000.0)
+        (e0,) = estimate([base])
+        (e1,) = estimate([cc])
+        assert e1 > e0
+
+    def test_interference_capped_by_stall_time(self):
+        """Huge DRAM-side interference cannot exceed what the pipeline
+        actually lost: t_int ≤ α·T."""
+        r = record(alpha=0.2, demanded=50 * CYCLES, executing=1 * CYCLES,
+                   outstanding=CYCLES, erb=10**6)
+        (est,) = estimate([r])
+        # ratio ≤ 1/(1-α) = 1.25; assigned sd ≤ 1.25 → all-SM ≤ 2.5
+        assert est <= 2.5 + 1e-6
+
+    def test_tb_supply_caps_scaling(self):
+        """Eq. 24: an app already running its last blocks cannot speed up."""
+        r = record(alpha=0.0, demanded=0, executing=0,
+                   tb_running=8, tb_unfinished=8)
+        (est,) = estimate([r])
+        assert est == pytest.approx(1.0)
+
+    def test_tb_supply_partial_cap(self):
+        r = record(alpha=0.0, demanded=0, executing=0,
+                   tb_running=8, tb_unfinished=12)
+        (est,) = estimate([r])
+        assert est == pytest.approx(1.5)
+
+    def test_bw_cap_limits_scaling(self):
+        """Eq. 25: an app near the bandwidth ceiling cannot scale 2×."""
+        r = record(requests=int(RMAX * 0.62), alpha=0.0,
+                   demanded=0, executing=0)
+        (est,) = estimate([r])
+        assert est == pytest.approx(1.0 / 0.62, rel=0.05)
+
+    def test_scaling_disabled(self):
+        r = record(alpha=0.0, demanded=0, executing=0)
+        (est,) = estimate([r], scale_to_all_sms=False)
+        assert est == pytest.approx(1.0)
+
+    def test_alpha_clamp_uses_pure_ratio(self):
+        cfg_clamp = GPUConfig(alpha_clamp=0.3)
+        r = record(alpha=0.5, demanded=10 * CYCLES, executing=0,
+                   outstanding=CYCLES, tb_unfinished=10**6)
+        est_clamped = DASE(cfg_clamp).estimate_interval([r])[0]
+        cfg_noclamp = GPUConfig(alpha_clamp=0.99)
+        est_damped = DASE(cfg_noclamp).estimate_interval([r])[0]
+        assert est_clamped > est_damped
+
+    def test_estimates_floored_at_one(self):
+        r = record(alpha=0.0, demanded=0, executing=0, sm_count=16)
+        (est,) = estimate([r])
+        assert est >= 1.0
+
+
+class TestMBBPath:
+    def mbb_record(self, requests, alpha=0.9, ellc=0.0, app=0, sm_count=8):
+        return record(app=app, requests=requests, alpha=alpha, ellc=ellc,
+                      sm_count=sm_count)
+
+    def test_mbb_slowdown_is_request_ratio(self):
+        """Eqs. 16-18: slowdown = Σ requests / own corrected requests."""
+        a = self.mbb_record(int(RMAX * 0.7), app=0)
+        b = record(app=1, requests=int(RMAX * 0.35), alpha=0.0)
+        model = DASE(CFG)
+        ests = model.estimate_interval([a, b])
+        total = a.mem.requests_served + b.mem.requests_served
+        assert ests[0] == pytest.approx(total / a.mem.requests_served)
+        assert model.breakdowns[0][0].mbb is True
+
+    def test_mbb_does_not_scale_with_sms(self):
+        a = self.mbb_record(int(RMAX * 0.8), sm_count=4)
+        b = record(app=1, requests=int(RMAX * 0.3), alpha=0.0, sm_count=12)
+        ests = estimate([a, b])
+        total = a.mem.requests_served + b.mem.requests_served
+        # No ×4 factor despite having only 4 of 16 SMs.
+        assert ests[0] == pytest.approx(total / a.mem.requests_served)
+
+    def test_contention_misses_increase_mbb_slowdown(self):
+        clean = self.mbb_record(int(RMAX * 0.7))
+        dirty = self.mbb_record(int(RMAX * 0.7), ellc=RMAX * 0.1)
+        b = record(app=1, requests=int(RMAX * 0.35), alpha=0.0)
+        (e_clean, _) = estimate([clean, b])
+        (e_dirty, _) = estimate([dirty, b])
+        assert e_dirty > e_clean
+
+
+class TestBookkeeping:
+    def test_history_grows(self):
+        model = DASE(CFG)
+        r = record()
+        model.estimate_interval([r])  # direct call does not append history
+        model._on_interval([r])
+        model._on_interval([r])
+        assert len(model.history) == 2
+
+    def test_mean_estimate_skips_warmup(self):
+        model = DASE(CFG)
+        model.history = [[10.0], [2.0], [4.0]]
+        assert model.mean_estimate(0, warmup_intervals=1) == pytest.approx(3.0)
+
+    def test_mean_estimate_falls_back_when_all_warmup(self):
+        model = DASE(CFG)
+        model.history = [[5.0]]
+        assert model.mean_estimate(0, warmup_intervals=1) == 5.0
+
+    def test_mean_estimate_none_when_empty(self):
+        model = DASE(CFG)
+        model.history = [[None], [None]]
+        assert model.mean_estimate(0) is None
+
+    def test_latest_reciprocals(self):
+        model = DASE(CFG)
+        model.history = [[2.0, 4.0]]
+        assert model.latest_reciprocals() == [0.5, 0.25]
+
+    def test_double_attach_rejected(self):
+        from repro.sim.gpu import GPU
+        from repro.sim.kernel import KernelSpec
+
+        gpu = GPU(CFG, [KernelSpec("x", compute_per_mem=5)])
+        model = DASE(CFG)
+        model.attach(gpu)
+        with pytest.raises(RuntimeError):
+            model.attach(gpu)

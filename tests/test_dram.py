@@ -1,0 +1,243 @@
+"""Unit tests for the memory partition (L2 + FR-FCFS DRAM controller)."""
+
+import pytest
+
+from repro.config import CacheConfig, GPUConfig
+from repro.sim.address import AddressMapper
+from repro.sim.dram import MemoryPartition
+from repro.sim.engine import Engine
+from repro.sim.stats import MemoryStats
+
+
+def make_partition(n_apps=2, **cfg_overrides):
+    cfg = GPUConfig(**cfg_overrides)
+    eng = Engine()
+    stats = MemoryStats(n_apps)
+    part = MemoryPartition(eng, cfg, 0, n_apps, stats)
+    return eng, cfg, part, stats
+
+
+def addr_for(cfg, partition, bank, row, line_in_row=0):
+    """Build a byte address decoding to the given (partition, bank, row)."""
+    mapper = AddressMapper(cfg)
+    return mapper.encode(partition, mapper.local_coords(bank, row, line_in_row))
+
+
+def decode(cfg, byte_addr):
+    return AddressMapper(cfg).decode(byte_addr)
+
+
+class TestL2Path:
+    def test_l2_hit_served_at_l2_latency(self):
+        eng, cfg, part, stats = make_partition()
+        a = decode(cfg, addr_for(cfg, 0, 0, 0))
+        done = []
+        part.access(a, 0, lambda t: done.append(t))
+        eng.run()
+        miss_latency = done[0]  # issued at t=0
+        done.clear()
+        t0 = eng.now
+        part.access(a, 0, lambda t: done.append(t))
+        eng.run()
+        assert done[0] == t0 + cfg.l2_latency  # pure L2 hit
+        assert miss_latency > cfg.l2_latency  # the miss was slower
+        assert stats.apps[0].l2_hits == 1
+        assert stats.apps[0].l2_misses == 1
+
+    def test_miss_goes_to_dram_and_counts(self):
+        eng, cfg, part, stats = make_partition()
+        a = decode(cfg, addr_for(cfg, 0, 3, 7))
+        part.access(a, 1, lambda t: None)
+        eng.run()
+        assert stats.apps[1].requests_served == 1
+        assert stats.apps[1].row_misses == 1
+        assert part.bank_open_row[3] == 7
+
+
+class TestRowBufferBehaviour:
+    def test_row_hit_faster_than_row_miss(self):
+        eng, cfg, part, _ = make_partition()
+        a1 = decode(cfg, addr_for(cfg, 0, 0, 0, line_in_row=0))
+        a2 = decode(cfg, addr_for(cfg, 0, 0, 0, line_in_row=1))  # same row
+        a3 = decode(cfg, addr_for(cfg, 0, 0, 5))  # same bank, other row
+        times = {}
+        part.access(a1, 0, lambda t: times.__setitem__("miss", t))
+        eng.run()
+        t0 = eng.now
+        part.access(a2, 0, lambda t: times.__setitem__("hit", t))
+        eng.run()
+        t1 = eng.now
+        part.access(a3, 0, lambda t: times.__setitem__("miss2", t))
+        eng.run()
+        hit_latency = times["hit"] - t0
+        miss_latency = times["miss2"] - t1
+        # Penalty as the controller computes it (each latency is converted
+        # to core cycles separately, so compose the same way).
+        penalty = cfg.dram_cycles_to_core(
+            cfg.dram.tRP + cfg.dram.tRCD + cfg.dram.tCL
+        ) - cfg.dram_cycles_to_core(cfg.dram.tCL)
+        assert miss_latency - hit_latency == penalty
+
+    def test_row_hit_counted(self):
+        eng, cfg, part, stats = make_partition()
+        a1 = decode(cfg, addr_for(cfg, 0, 0, 0, 0))
+        a2 = decode(cfg, addr_for(cfg, 0, 0, 0, 1))
+        part.access(a1, 0, lambda t: None)
+        eng.run()
+        part.access(a2, 0, lambda t: None)
+        eng.run()
+        assert stats.apps[0].row_hits == 1
+        assert stats.apps[0].row_misses == 1
+
+
+class TestRowBufferInterferenceDetection:
+    def test_erb_miss_detected_when_corunner_closes_row(self):
+        eng, cfg, part, stats = make_partition()
+        row_a = decode(cfg, addr_for(cfg, 0, 0, 0))
+        row_b = decode(cfg, addr_for(cfg, 0, 0, 9))
+        part.access(row_a, 0, lambda t: None)  # app 0 opens row 0
+        eng.run()
+        part.access(row_b, 1, lambda t: None)  # app 1 closes it
+        eng.run()
+        row_a2 = decode(cfg, addr_for(cfg, 0, 0, 0, 1))
+        part.access(row_a2, 0, lambda t: None)  # app 0 returns to row 0
+        eng.run()
+        assert stats.apps[0].erb_miss == 1
+        assert stats.apps[1].erb_miss == 0
+
+    def test_own_row_switch_not_counted(self):
+        """An app alternating its own rows suffers misses but they are not
+        *extra* (interference) misses."""
+        eng, cfg, part, stats = make_partition(n_apps=1)
+        # Distinct lines (so the L2 never absorbs them) alternating rows.
+        seq = [
+            decode(cfg, addr_for(cfg, 0, 0, row, line))
+            for line, row in enumerate([0, 1, 0, 1])
+        ]
+        for a in seq:
+            part.access(a, 0, lambda t: None)
+            eng.run()
+        assert stats.apps[0].row_misses == 4
+        assert stats.apps[0].erb_miss == 0
+
+
+class TestBankParallelismAndBus:
+    def test_two_banks_overlap_but_bus_serializes(self):
+        eng, cfg, part, _ = make_partition()
+        a0 = decode(cfg, addr_for(cfg, 0, 0, 0))
+        a1 = decode(cfg, addr_for(cfg, 0, 1, 0))
+        done = []
+        part.access(a0, 0, lambda t: done.append(t))
+        part.access(a1, 0, lambda t: done.append(t))
+        eng.run()
+        burst = cfg.dram_cycles_to_core(cfg.dram.tBurst)
+        gap = cfg.mc_issue_gap
+        # Bank work overlapped: completions separated by the larger of the
+        # bus burst and the controller issue gap, not a full service time.
+        assert done[1] - done[0] <= max(burst, gap) + 1
+        service = cfg.dram_cycles_to_core(
+            cfg.dram.tRP + cfg.dram.tRCD + cfg.dram.tCL
+        )
+        assert done[1] - done[0] < service
+
+    def test_same_bank_serializes_fully(self):
+        eng, cfg, part, _ = make_partition()
+        a0 = decode(cfg, addr_for(cfg, 0, 0, 0, 0))
+        a1 = decode(cfg, addr_for(cfg, 0, 0, 4, 0))  # same bank, new row
+        done = []
+        part.access(a0, 0, lambda t: done.append(t))
+        part.access(a1, 0, lambda t: done.append(t))
+        eng.run()
+        service = cfg.dram_cycles_to_core(
+            cfg.dram.tRP + cfg.dram.tRCD + cfg.dram.tCL + cfg.dram.tBurst
+        )
+        assert done[1] - done[0] >= service
+
+    def test_issue_gap_enforced(self):
+        eng, cfg, part, _ = make_partition(mc_issue_gap=50)
+        done = []
+        for bank in range(4):
+            a = decode(cfg, addr_for(cfg, 0, bank, 0))
+            part.access(a, 0, lambda t: done.append(t))
+        eng.run()
+        assert len(done) == 4
+        spans = [b - a for a, b in zip(done, done[1:])]
+        assert all(s >= 50 for s in spans)
+
+
+class TestFRFCFS:
+    def test_row_hit_bypasses_older_row_miss(self):
+        eng, cfg, part, _ = make_partition()
+        opener = decode(cfg, addr_for(cfg, 0, 0, 0, 0))
+        part.access(opener, 0, lambda t: None)
+        eng.run()
+        # Bank 0 now holds row 0.  Enqueue (older) row-miss then row-hit
+        # while the bank is busy with a filler request.
+        filler = decode(cfg, addr_for(cfg, 0, 0, 2, 0))
+        miss = decode(cfg, addr_for(cfg, 0, 0, 1, 0))
+        hit = decode(cfg, addr_for(cfg, 0, 0, 2, 1))
+        done = {}
+        part.access(filler, 0, lambda t: done.setdefault("filler", t))
+        part.access(miss, 0, lambda t: done.setdefault("miss", t))
+        part.access(hit, 0, lambda t: done.setdefault("hit", t))
+        eng.run()
+        # After the filler leaves row 2 open, the row-hit request (younger)
+        # must be served before the row-miss request.
+        assert done["hit"] < done["miss"]
+
+    def test_priority_app_served_first(self):
+        eng, cfg, part, _ = make_partition()
+        part.set_priority(1)
+        opener = decode(cfg, addr_for(cfg, 0, 0, 5, 0))
+        part.access(opener, 0, lambda t: None)
+        eng.run()
+        lo = decode(cfg, addr_for(cfg, 0, 0, 6, 0))
+        hi = decode(cfg, addr_for(cfg, 0, 0, 7, 0))
+        filler = decode(cfg, addr_for(cfg, 0, 0, 8, 0))
+        done = {}
+        part.access(filler, 0, lambda t: done.setdefault("filler", t))
+        part.access(lo, 0, lambda t: done.setdefault("lo", t))
+        part.access(hi, 1, lambda t: done.setdefault("hi", t))
+        eng.run()
+        assert done["hi"] < done["lo"]
+
+    def test_clearing_priority_restores_fcfs(self):
+        eng, cfg, part, _ = make_partition()
+        part.set_priority(1)
+        part.set_priority(None)
+        assert part.priority_app is None
+
+
+class TestCounters:
+    def test_time_request_accumulates(self):
+        eng, cfg, part, stats = make_partition()
+        a = decode(cfg, addr_for(cfg, 0, 0, 0))
+        part.access(a, 0, lambda t: None)
+        eng.run()
+        service = cfg.dram_cycles_to_core(
+            cfg.dram.tRP + cfg.dram.tRCD + cfg.dram.tCL
+        ) + cfg.dram_cycles_to_core(cfg.dram.tBurst)
+        assert stats.apps[0].time_request == service
+
+    def test_data_bus_time_is_burst_per_request(self):
+        eng, cfg, part, stats = make_partition()
+        for bank in range(3):
+            part.access(decode(cfg, addr_for(cfg, 0, bank, 0)), 0, lambda t: None)
+        eng.run()
+        assert stats.apps[0].data_bus_time == 3 * cfg.dram_cycles_to_core(
+            cfg.dram.tBurst
+        )
+
+    def test_busy_time_covers_active_window(self):
+        eng, cfg, part, stats = make_partition()
+        part.access(decode(cfg, addr_for(cfg, 0, 0, 0)), 0, lambda t: None)
+        eng.run()
+        assert part.busy_time > 0
+        assert part.busy_time <= eng.now
+
+    def test_queue_length_reports_waiting_requests(self):
+        eng, cfg, part, _ = make_partition(mc_issue_gap=1000)
+        for i in range(5):
+            part.access(decode(cfg, addr_for(cfg, 0, 0, i)), 0, lambda t: None)
+        eng.run(until=cfg.l2_latency + 2)
+        assert part.queue_length() >= 4

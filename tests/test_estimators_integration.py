@@ -1,0 +1,109 @@
+"""End-to-end estimator tests on live simulations (slower than units)."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core import ASM, DASE, MISE, PriorityRotator
+from repro.sim.gpu import GPU, LaunchedKernel
+from repro.sim.kernel import KernelSpec
+from repro.workloads import SUITE
+
+CFG = GPUConfig(interval_cycles=10_000)
+
+
+def run_with_estimators(names, cycles=60_000, sm_partition=None):
+    kernels = [LaunchedKernel(SUITE[n], stream_id=i) for i, n in enumerate(names)]
+    gpu = GPU(CFG, kernels, sm_partition)
+    dase = DASE(CFG)
+    rot = PriorityRotator(CFG)
+    mise = MISE(CFG, rot)
+    asm = ASM(CFG, rot)
+    for est in (dase, mise, asm):
+        est.attach(gpu)
+    gpu.run(cycles)
+    return gpu, dase, mise, asm
+
+
+@pytest.mark.slow
+class TestLiveEstimates:
+    def test_all_models_produce_estimates(self):
+        _, dase, mise, asm = run_with_estimators(["SD", "SA"])
+        for model in (dase, mise, asm):
+            ests = model.mean_estimates()
+            assert len(ests) == 2
+            assert all(e is not None for e in ests), model.name
+
+    def test_estimates_at_least_one(self):
+        _, dase, mise, asm = run_with_estimators(["SD", "SB"])
+        for model in (dase, mise, asm):
+            for e in model.mean_estimates():
+                assert e >= 1.0
+
+    def test_dase_sees_sm_scaling_for_light_apps(self):
+        """Two compute-bound apps on half the SMs each: DASE ≈ 2.0."""
+        _, dase, _, _ = run_with_estimators(["QR", "CT"])
+        for e in dase.mean_estimates():
+            assert e == pytest.approx(2.0, rel=0.15)
+
+    def test_dase_victim_estimate_exceeds_aggressor(self):
+        _, dase, _, _ = run_with_estimators(["SD", "SB"])
+        sd, sb = dase.mean_estimates()
+        assert sd > sb
+
+    def test_mbb_classification_of_sb(self):
+        """SB paired with a light app must take the MBB path (measured
+        without the MISE/ASM priority epochs, which throttle SB during the
+        partner's priority windows and keep totals under Requestmax)."""
+        kernels = [
+            LaunchedKernel(SUITE[n], stream_id=i)
+            for i, n in enumerate(["SB", "QR"])
+        ]
+        gpu = GPU(CFG, kernels)
+        dase = DASE(CFG)
+        dase.attach(gpu)
+        gpu.run(80_000)
+        mbb_flags = [row[0].mbb for row in dase.breakdowns[1:]]
+        assert any(mbb_flags)
+
+    def test_nmbb_classification_of_compute_pair(self):
+        gpu, dase, _, _ = run_with_estimators(["QR", "CT"])
+        for row in dase.breakdowns:
+            assert not row[0].mbb
+            assert not row[1].mbb
+
+    def test_history_one_row_per_interval(self):
+        gpu, dase, mise, asm = run_with_estimators(["SD", "SA"], cycles=50_000)
+        assert len(dase.history) == 5
+        assert len(mise.history) == 5
+        assert len(asm.history) == 5
+
+    def test_uneven_partition_scaling(self):
+        """App with 4 of 16 SMs: DASE estimate ≈ 4× for a clean app."""
+        _, dase, _, _ = run_with_estimators(
+            ["QR", "CT"], sm_partition=[4, 12]
+        )
+        qr, ct = dase.mean_estimates()
+        assert qr == pytest.approx(4.0, rel=0.2)
+        assert ct == pytest.approx(16 / 12, rel=0.2)
+
+
+@pytest.mark.slow
+class TestRotatorSharing:
+    def test_mise_asm_share_one_rotator(self):
+        kernels = [SUITE["SD"], SUITE["SA"]]
+        gpu = GPU(CFG, kernels)
+        rot = PriorityRotator(CFG)
+        mise = MISE(CFG, rot)
+        asm = ASM(CFG, rot)
+        mise.attach(gpu)
+        asm.attach(gpu)  # must reuse, not re-attach, the rotator
+        gpu.run(30_000)
+        assert mise.history and asm.history
+
+    def test_rotator_on_wrong_gpu_rejected(self):
+        gpu1 = GPU(CFG, [SUITE["SD"]])
+        gpu2 = GPU(CFG, [SUITE["SD"]])
+        rot = PriorityRotator(CFG)
+        MISE(CFG, rot).attach(gpu1)
+        with pytest.raises(RuntimeError):
+            MISE(CFG, rot).attach(gpu2)

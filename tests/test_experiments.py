@@ -1,0 +1,87 @@
+"""Small-scale tests for the experiment drivers (full scale runs in
+benchmarks/; here we verify plumbing and result shapes quickly)."""
+
+import pytest
+
+from repro.harness import scaled_config
+from repro.harness.experiments import (
+    DEFAULT_PAIRS,
+    estimation_accuracy,
+    fig2_unfairness,
+    fig3_service_rate,
+    fig4_mbb_requests,
+    fig7_error_distribution,
+    fig9_dase_fair,
+    pair_list,
+)
+
+CFG = scaled_config()
+SMALL = 60_000
+
+
+class TestPairList:
+    def test_default_subset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert pair_list() == DEFAULT_PAIRS
+
+    def test_full_scale_all_pairs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert len(pair_list()) == 105
+
+    def test_limit(self):
+        assert len(pair_list(3)) == 3
+
+    def test_subset_apps_exist(self):
+        from repro.workloads import APP_NAMES
+
+        for a, b in DEFAULT_PAIRS:
+            assert a in APP_NAMES and b in APP_NAMES
+
+
+@pytest.mark.slow
+class TestDrivers:
+    def test_fig2_shapes(self):
+        res = fig2_unfairness(
+            combos=[("SD", "SB")], config=CFG, shared_cycles=SMALL
+        )
+        assert set(res.unfairness) == {"SD+SB"}
+        assert res.unfairness["SD+SB"] >= 1.0
+        bd = res.breakdown["SD+SB"]
+        assert set(bd) == {"SD", "SB", "wasted", "idle"}
+        assert res.sd_alone_bw > 0.2
+
+    def test_fig3_shapes(self):
+        res = fig3_service_rate(config=CFG, cycles=20_000)
+        assert len(res.points) == 7
+        assert -1.0 <= res.correlation <= 1.0
+
+    def test_fig4_shapes(self):
+        res = fig4_mbb_requests(partners=["QR"], config=CFG, cycles=40_000)
+        assert res.alone_rate > 0
+        assert set(res.shared_rates) == {"QR"}
+
+    def test_accuracy_driver(self):
+        res = estimation_accuracy(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL, models=("DASE",)
+        )
+        assert "QR+CT" in res.per_workload
+        assert res.mean_error("DASE") < 0.3
+        assert len(res.results) == 1
+
+    def test_fig7_distribution_shape(self):
+        res = estimation_accuracy(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL, models=("DASE",)
+        )
+        dists = fig7_error_distribution(res)
+        assert set(dists) == {"DASE"}
+        assert sum(dists["DASE"].values()) == pytest.approx(1.0)
+
+    def test_fig9_driver(self):
+        res = fig9_dase_fair(
+            pairs=[("SD", "SB")], config=CFG, shared_cycles=SMALL
+        )
+        key = "SD+SB"
+        assert res.workloads == [key]
+        assert res.unfairness_even[key] >= 1.0
+        assert res.unfairness_fair[key] >= 1.0
+        assert 0 < res.hspeedup_even[key] <= 1.0

@@ -1,0 +1,66 @@
+"""Tests for the random workload generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.workloads import GeneratorProfile, WorkloadGenerator
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = [k.name for k in WorkloadGenerator(seed=7).workload(4)]
+        b = [k.name for k in WorkloadGenerator(seed=7).workload(4)]
+        ka = [vars(k) for k in WorkloadGenerator(seed=7).workload(4)]
+        kb = [vars(k) for k in WorkloadGenerator(seed=7).workload(4)]
+        assert a == b
+        assert ka == kb
+
+    def test_different_seeds_differ(self):
+        a = [vars(k) for k in WorkloadGenerator(seed=1).workload(4)]
+        b = [vars(k) for k in WorkloadGenerator(seed=2).workload(4)]
+        assert a != b
+
+    def test_names_unique(self):
+        gen = WorkloadGenerator()
+        names = [gen.kernel().name for _ in range(20)]
+        assert len(set(names)) == 20
+
+    def test_profile_respected(self):
+        profile = GeneratorProfile(
+            min_compute_per_mem=10, max_compute_per_mem=20, max_reuse=0.0,
+            occupancy_limited_fraction=0.0,
+        )
+        gen = WorkloadGenerator(seed=3, profile=profile)
+        for _ in range(30):
+            k = gen.kernel()
+            assert 9 <= k.compute_per_mem <= 20
+            assert k.reuse_fraction == 0.0
+            assert k.max_resident_blocks is None
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(min_compute_per_mem=50, max_compute_per_mem=10)
+        with pytest.raises(ValueError):
+            GeneratorProfile(max_reuse=2.0)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator().workload(0)
+
+    def test_workloads_batch(self):
+        ws = WorkloadGenerator().workloads(3, 2)
+        assert len(ws) == 3
+        assert all(len(w) == 2 for w in ws)
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_generated_kernels_run(self, seed):
+        """Any generated workload must be simulable without errors."""
+        gen = WorkloadGenerator(seed=seed)
+        cfg = GPUConfig(n_sms=2, n_partitions=2, interval_cycles=5_000)
+        gpu = GPU(cfg, gen.workload(2))
+        gpu.run(5_000)
+        assert gpu.engine.now == 5_000
+        assert sum(p.instructions for p in gpu.progress) > 0

@@ -1,0 +1,212 @@
+"""Integration tests for the top-level GPU."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU, LaunchedKernel
+from repro.sim.kernel import AccessPattern, KernelSpec
+
+
+def cfg(**over):
+    over.setdefault("interval_cycles", 5_000)
+    return GPUConfig(**over)
+
+
+def spec(name="k", **over):
+    over.setdefault("compute_per_mem", 10)
+    over.setdefault("warps_per_block", 4)
+    return KernelSpec(name, **over)
+
+
+class TestConstruction:
+    def test_default_even_partition(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b")])
+        assert gpu.sm_counts() == [8, 8]
+
+    def test_uneven_default_partition(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b"), spec("c")])
+        assert gpu.sm_counts() == [6, 5, 5]
+
+    def test_explicit_partition(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b")], sm_partition=[4, 12])
+        assert gpu.sm_counts() == [4, 12]
+
+    def test_first_app_gets_first_sms(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b")], sm_partition=[3, 13])
+        assert [sm.app for sm in gpu.sms[:3]] == [0, 0, 0]
+        assert all(sm.app == 1 for sm in gpu.sms[3:])
+
+    def test_partition_must_cover_each_app(self):
+        with pytest.raises(ValueError):
+            GPU(cfg(), [spec("a"), spec("b")], sm_partition=[0, 16])
+
+    def test_partition_cannot_exceed_sms(self):
+        with pytest.raises(ValueError):
+            GPU(cfg(), [spec("a"), spec("b")], sm_partition=[10, 10])
+
+    def test_partition_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GPU(cfg(), [spec("a")], sm_partition=[8, 8])
+
+    def test_no_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            GPU(cfg(), [])
+
+
+class TestExecution:
+    def test_run_advances_clock(self):
+        gpu = GPU(cfg(), [spec()])
+        assert gpu.run(10_000) == 10_000
+
+    def test_incremental_runs_accumulate(self):
+        gpu = GPU(cfg(), [spec()])
+        gpu.run(5_000)
+        gpu.run(5_000)
+        assert gpu.engine.now == 10_000
+
+    def test_instructions_flow(self):
+        gpu = GPU(cfg(), [spec()])
+        gpu.run(10_000)
+        assert gpu.progress[0].instructions > 1000
+
+    def test_run_until_instructions(self):
+        gpu = GPU(cfg(), [spec()])
+        end = gpu.run_until_instructions(0, 5_000)
+        assert gpu.progress[0].instructions >= 5_000
+        # Overshoot bounded by one warp burst.
+        assert gpu.progress[0].instructions < 5_000 + 200
+        assert end == gpu.engine.now
+
+    def test_run_until_instructions_timeout(self):
+        gpu = GPU(cfg(), [spec()])
+        with pytest.raises(RuntimeError):
+            gpu.run_until_instructions(0, 10**12, max_cycles=1_000)
+
+    def test_non_restarting_kernel_finishes(self):
+        k = LaunchedKernel(
+            spec(blocks_total=2, insts_per_warp=50), restart=False
+        )
+        gpu = GPU(cfg(n_sms=1), [k])
+        gpu.run(200_000)
+        assert gpu.progress[0].blocks_finished == 2
+        assert gpu.progress[0].instructions == 2 * 4 * 50
+
+    def test_restarting_kernel_never_runs_dry(self):
+        k = LaunchedKernel(spec(blocks_total=2, insts_per_warp=50), restart=True)
+        gpu = GPU(cfg(n_sms=1), [k])
+        gpu.run(50_000)
+        assert gpu.progress[0].restarts > 0
+        assert gpu.progress[0].instructions > 2 * 4 * 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        results = []
+        for _ in range(2):
+            gpu = GPU(cfg(), [spec("a"), spec("b", pattern=AccessPattern.RANDOM)])
+            gpu.run(15_000)
+            results.append(
+                (
+                    tuple(p.instructions for p in gpu.progress),
+                    tuple(a.requests_served for a in gpu.mem_stats.apps),
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_different_seed_differs(self):
+        outs = []
+        for seed in (1, 2):
+            gpu = GPU(cfg(seed=seed), [spec(pattern=AccessPattern.RANDOM)])
+            gpu.run(15_000)
+            outs.append(gpu.progress[0].instructions)
+        assert outs[0] != outs[1]
+
+    def test_stream_id_reproduces_shared_streams(self):
+        """An alone replay with stream_id=1 sees app 1's exact streams."""
+        shared = GPU(cfg(), [spec("a"), spec("b")])
+        shared.run(10_000)
+        alone = GPU(cfg(), [LaunchedKernel(spec("b"), stream_id=1)])
+        alone.run(10_000)
+        # Same address space slice: partition traffic shape matches.
+        assert alone.mem_stats.apps[0].requests_served > 0
+
+
+class TestIntervals:
+    def test_interval_records_emitted(self):
+        gpu = GPU(cfg(interval_cycles=2_000), [spec("a"), spec("b")])
+        gpu.run(10_000)
+        assert len(gpu.interval_history) == 5
+        assert all(len(row) == 2 for row in gpu.interval_history)
+
+    def test_interval_deltas_sum_to_totals(self):
+        gpu = GPU(cfg(interval_cycles=2_000), [spec()])
+        gpu.run(10_000)
+        total = sum(r[0].mem.requests_served for r in gpu.interval_history)
+        assert total == gpu.mem_stats.apps[0].requests_served
+
+    def test_interval_listener_called(self):
+        gpu = GPU(cfg(interval_cycles=2_000), [spec()])
+        seen = []
+        gpu.add_interval_listener(lambda recs: seen.append(recs[0].end))
+        gpu.run(6_000)
+        assert seen == [2_000, 4_000, 6_000]
+
+    def test_record_sm_counts(self):
+        gpu = GPU(cfg(interval_cycles=2_000), [spec("a"), spec("b")],
+                  sm_partition=[4, 12])
+        gpu.run(2_000)
+        rec_a, rec_b = gpu.interval_history[0]
+        assert rec_a.sm_count == 4
+        assert rec_b.sm_count == 12
+        assert rec_a.sm_total == 16
+
+    def test_alpha_in_unit_interval(self):
+        gpu = GPU(cfg(interval_cycles=2_000), [spec()])
+        gpu.run(10_000)
+        for row in gpu.interval_history:
+            assert 0.0 <= row[0].sm.alpha <= 1.0
+
+
+class TestBandwidthAccounting:
+    def test_utilization_bounded(self):
+        gpu = GPU(cfg(), [spec(compute_per_mem=2)])
+        gpu.run(20_000)
+        assert 0.0 < gpu.bandwidth_utilization() <= 1.0
+
+    def test_per_app_utilization_sums_to_total(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b")])
+        gpu.run(20_000)
+        total = gpu.bandwidth_utilization()
+        per = gpu.bandwidth_utilization(0) + gpu.bandwidth_utilization(1)
+        assert per == pytest.approx(total)
+
+    def test_breakdown_sums_to_one(self):
+        gpu = GPU(cfg(), [spec("a"), spec("b", compute_per_mem=3)])
+        gpu.run(20_000)
+        b = gpu.bandwidth_breakdown()
+        assert sum(b.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(v >= 0 for v in b.values())
+
+    def test_idle_gpu_breakdown(self):
+        gpu = GPU(cfg(), [spec(compute_per_mem=3000, insts_per_warp=3001)])
+        b = gpu.bandwidth_breakdown()
+        assert b["idle"] == 1.0
+
+
+class TestMemoryConservation:
+    def test_l2_misses_conserved_as_dram_requests(self):
+        """At any instant, L2 misses = served requests + in-flight ones."""
+        gpu = GPU(cfg(), [spec("a"), spec("b", pattern=AccessPattern.RANDOM)])
+        gpu.run(20_000)
+        for app in range(2):
+            m = gpu.mem_stats.apps[app]
+            in_flight = gpu.mem_stats.outstanding(app)
+            assert m.l2_misses == m.requests_served + in_flight
+            assert in_flight >= 0
+
+    def test_outstanding_bounded_by_warp_count(self):
+        """Each warp has at most one memory instruction in flight."""
+        gpu = GPU(cfg(), [spec()])
+        gpu.run(20_000)
+        max_warps = gpu.config.n_sms * gpu.config.max_warps_per_sm
+        assert 0 <= gpu.mem_stats.outstanding(0) <= max_warps

@@ -1,0 +1,116 @@
+"""Tests for the matched-instruction evaluation harness."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness import run_workload, scaled_config
+from repro.harness.runner import WorkloadResult, full_scale
+from repro.metrics import estimation_error
+from repro.sim.kernel import KernelSpec
+
+
+def small_config():
+    return scaled_config()
+
+
+@pytest.fixture(scope="module")
+def sd_sa_result():
+    return run_workload(["SD", "SA"], config=small_config(), shared_cycles=80_000)
+
+
+@pytest.mark.slow
+class TestRunWorkload:
+    def test_names_resolved(self, sd_sa_result):
+        assert sd_sa_result.names == ["SD", "SA"]
+
+    def test_default_even_partition(self, sd_sa_result):
+        assert sd_sa_result.sm_partition == [8, 8]
+
+    def test_actual_slowdowns_reasonable(self, sd_sa_result):
+        for s in sd_sa_result.actual_slowdowns:
+            assert 1.0 <= s <= 20.0
+
+    def test_alone_replay_faster_than_shared(self, sd_sa_result):
+        """Per instruction, alone on all SMs is faster than shared on half."""
+        for c in sd_sa_result.alone_cycles:
+            assert c < sd_sa_result.shared_cycles
+
+    def test_estimates_present_for_all_models(self, sd_sa_result):
+        for model in ("DASE", "MISE", "ASM"):
+            assert model in sd_sa_result.estimates
+            assert len(sd_sa_result.estimates[model]) == 2
+
+    def test_errors_match_manual_computation(self, sd_sa_result):
+        errs = sd_sa_result.errors("DASE")
+        manual = [
+            estimation_error(e, a)
+            for e, a in zip(
+                sd_sa_result.estimates["DASE"], sd_sa_result.actual_slowdowns
+            )
+            if e is not None
+        ]
+        assert errs == manual
+
+    def test_unfairness_and_hspeedup(self, sd_sa_result):
+        assert sd_sa_result.actual_unfairness >= 1.0
+        assert 0.0 < sd_sa_result.actual_hspeedup <= 1.0
+
+    def test_bandwidth_reported(self, sd_sa_result):
+        assert set(sd_sa_result.bandwidth) == {"SD", "SA", "total"}
+        assert sd_sa_result.bandwidth["total"] == pytest.approx(
+            sd_sa_result.bandwidth["SD"] + sd_sa_result.bandwidth["SA"], abs=1e-9
+        )
+
+
+@pytest.mark.slow
+class TestHarnessOptions:
+    def test_custom_partition(self):
+        res = run_workload(
+            ["QR", "CT"], config=small_config(), shared_cycles=40_000,
+            sm_partition=[4, 12], models=("DASE",),
+        )
+        assert res.sm_partition == [4, 12]
+
+    def test_kernel_specs_accepted_directly(self):
+        spec = KernelSpec("custom", compute_per_mem=20, warps_per_block=4)
+        res = run_workload(
+            [spec, "QR"], config=small_config(), shared_cycles=40_000,
+            models=("DASE",),
+        )
+        assert res.names == ["custom", "QR"]
+
+    def test_no_models(self):
+        res = run_workload(
+            ["QR", "CT"], config=small_config(), shared_cycles=40_000, models=()
+        )
+        assert res.estimates == {}
+        assert res.actual_slowdowns
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload(["QR", "CT"], models=("BOGUS",))
+
+    def test_mean_error_without_estimates_raises(self):
+        res = run_workload(
+            ["QR", "CT"], config=small_config(), shared_cycles=40_000, models=()
+        )
+        with pytest.raises(KeyError):
+            res.mean_error("DASE")
+
+
+class TestScaledConfig:
+    def test_scaled_interval(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        cfg = scaled_config()
+        assert cfg.interval_cycles == 12_000
+
+    def test_full_scale_keeps_paper_interval(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        cfg = scaled_config()
+        assert cfg.interval_cycles == 50_000
+        assert full_scale()
+
+    def test_explicit_interval_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        cfg = scaled_config(interval_cycles=7_000)
+        assert cfg.interval_cycles == 7_000

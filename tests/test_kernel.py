@@ -1,0 +1,173 @@
+"""Unit tests for kernel specs and warp address streams."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import (
+    APP_SPACE_LINES,
+    AccessPattern,
+    KernelProgress,
+    KernelSpec,
+    WarpStream,
+)
+
+LINE = 128
+
+
+def stream(spec, app=0, block=0, warp=0, seed=1):
+    return WarpStream(spec, app, block, warp, seed, LINE)
+
+
+class TestKernelSpecValidation:
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", compute_per_mem=-1)
+
+    def test_bad_reuse_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", compute_per_mem=1, reuse_fraction=1.5)
+
+    def test_zero_warps_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", compute_per_mem=1, warps_per_block=0)
+
+    def test_tiny_inst_budget_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", compute_per_mem=1, insts_per_warp=1)
+
+    def test_mem_fraction(self):
+        assert KernelSpec("x", compute_per_mem=3).mem_fraction == 0.25
+
+
+class TestWarpStream:
+    def test_deterministic_replay(self):
+        spec = KernelSpec("x", compute_per_mem=10, pattern=AccessPattern.RANDOM)
+        a, b = stream(spec), stream(spec)
+        for _ in range(50):
+            assert a.next_compute_burst() == b.next_compute_burst()
+            assert a.next_mem_addresses() == b.next_mem_addresses()
+
+    def test_different_warps_differ(self):
+        spec = KernelSpec("x", compute_per_mem=10, pattern=AccessPattern.RANDOM)
+        a, b = stream(spec, warp=0), stream(spec, warp=1)
+        seq_a = [tuple(a.next_mem_addresses()) for _ in (a.next_compute_burst(),) * 5]
+        seq_b = [tuple(b.next_mem_addresses()) for _ in (b.next_compute_burst(),) * 5]
+        assert seq_a != seq_b
+
+    def test_instruction_budget_exhausted(self):
+        spec = KernelSpec("x", compute_per_mem=4, insts_per_warp=100)
+        s = stream(spec)
+        total = 0
+        while not s.done:
+            burst = s.next_compute_burst()
+            addrs = s.next_mem_addresses()
+            total += burst + 1
+            assert len(addrs) == 1
+        assert total == 100
+
+    def test_always_ends_with_memory_instruction(self):
+        spec = KernelSpec("x", compute_per_mem=7, insts_per_warp=50)
+        s = stream(spec)
+        while not s.done:
+            s.next_compute_burst()
+            assert s.remaining_insts >= 1  # burst reserved the mem inst
+            s.next_mem_addresses()
+        assert s.remaining_insts == 0
+
+    def test_zero_compute_kernel(self):
+        spec = KernelSpec("x", compute_per_mem=0, insts_per_warp=10)
+        s = stream(spec)
+        assert s.next_compute_burst() == 0
+
+    def test_streaming_addresses_are_sequential_lines(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=1, pattern=AccessPattern.STREAM, burst_jitter=0
+        )
+        s = stream(spec)
+        lines = []
+        for _ in range(10):
+            s.next_compute_burst()
+            lines.append(s.next_mem_addresses()[0] // LINE)
+        assert lines == list(range(lines[0], lines[0] + 10))
+
+    def test_strided_addresses(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=1, pattern=AccessPattern.STRIDED, stride_lines=5
+        )
+        s = stream(spec)
+        lines = []
+        for _ in range(5):
+            s.next_compute_burst()
+            lines.append(s.next_mem_addresses()[0] // LINE)
+        assert [b - a for a, b in zip(lines, lines[1:])] == [5] * 4
+
+    def test_random_addresses_stay_in_working_set(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=1, pattern=AccessPattern.RANDOM,
+            working_set_lines=64, hot_set_lines=16,
+        )
+        s = stream(spec, app=2)
+        base = 2 * APP_SPACE_LINES
+        for _ in range(100):
+            s.next_compute_burst()
+            line = s.next_mem_addresses()[0] // LINE
+            assert base <= line < base + 16 + 64 + 100_000
+
+    def test_reuse_hits_hot_set(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=1, pattern=AccessPattern.STREAM,
+            reuse_fraction=1.0, hot_set_lines=8,
+        )
+        s = stream(spec, app=1)
+        base = APP_SPACE_LINES
+        for _ in range(50):
+            s.next_compute_burst()
+            line = s.next_mem_addresses()[0] // LINE
+            assert base <= line < base + 8
+
+    def test_apps_have_disjoint_address_spaces(self):
+        spec = KernelSpec("x", compute_per_mem=1, pattern=AccessPattern.RANDOM)
+        s0, s1 = stream(spec, app=0), stream(spec, app=1)
+        for _ in range(20):
+            s0.next_compute_burst()
+            s1.next_compute_burst()
+            a0 = s0.next_mem_addresses()[0] // LINE
+            a1 = s1.next_mem_addresses()[0] // LINE
+            assert a0 < APP_SPACE_LINES <= a1 < 2 * APP_SPACE_LINES
+
+    def test_uncoalesced_generates_multiple_addresses(self):
+        spec = KernelSpec("x", compute_per_mem=1, accesses_per_mem_inst=4)
+        s = stream(spec)
+        s.next_compute_burst()
+        assert len(s.next_mem_addresses()) == 4
+
+    @given(st.integers(min_value=0, max_value=60), st.integers(2, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_burst_respects_budget(self, cpm, budget):
+        spec = KernelSpec("x", compute_per_mem=cpm, insts_per_warp=budget)
+        s = stream(spec)
+        issued = 0
+        while not s.done:
+            b = s.next_compute_burst()
+            assert b >= 0
+            s.next_mem_addresses()
+            issued += b + 1
+        assert issued == budget
+
+
+class TestKernelProgress:
+    def test_sequential_dispatch(self):
+        prog = KernelProgress(KernelSpec("x", compute_per_mem=1, blocks_total=3))
+        assert [prog.next_block_id() for _ in range(3)] == [0, 1, 2]
+        assert prog.blocks_remaining == 0
+
+    def test_restart_after_exhaustion(self):
+        prog = KernelProgress(KernelSpec("x", compute_per_mem=1, blocks_total=2))
+        ids = [prog.next_block_id() for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]  # globally unique across restarts
+        assert prog.restarts == 2
+
+    def test_blocks_remaining_within_grid(self):
+        prog = KernelProgress(KernelSpec("x", compute_per_mem=1, blocks_total=4))
+        prog.next_block_id()
+        assert prog.blocks_remaining == 3

@@ -1,0 +1,135 @@
+"""Tests for the per-SM L1 data cache and store traffic."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.kernel import AccessPattern, KernelSpec
+
+
+def cfg(**over):
+    over.setdefault("n_sms", 1)
+    over.setdefault("interval_cycles", 50_000)
+    return GPUConfig(**over)
+
+
+class TestL1:
+    def test_hot_set_within_l1_hits(self):
+        """A tiny hot set (≤ 128 lines) lives in the 16 KB L1."""
+        spec = KernelSpec(
+            "h", compute_per_mem=5, warps_per_block=4, reuse_fraction=1.0,
+            hot_set_lines=64,
+        )
+        gpu = GPU(cfg(), [spec])
+        gpu.run(20_000)
+        c = gpu.sm_counters[0]
+        hit_rate = c.l1_hits / (c.l1_hits + c.l1_misses)
+        assert hit_rate > 0.8
+        # And those hits never reach the shared L2.
+        m = gpu.mem_stats.apps[0]
+        assert m.l2_hits + m.l2_misses < c.l1_hits
+
+    def test_streaming_never_hits_l1(self):
+        spec = KernelSpec("s", compute_per_mem=5, warps_per_block=4)
+        gpu = GPU(cfg(), [spec])
+        gpu.run(20_000)
+        c = gpu.sm_counters[0]
+        assert c.l1_hits == 0
+        assert c.l1_misses > 0
+
+    def test_l1_disabled_config(self):
+        spec = KernelSpec(
+            "h", compute_per_mem=5, warps_per_block=4, reuse_fraction=1.0,
+            hot_set_lines=64,
+        )
+        gpu = GPU(cfg(l1_enabled=False), [spec])
+        gpu.run(20_000)
+        c = gpu.sm_counters[0]
+        assert c.l1_hits == 0 and c.l1_misses == 0
+        assert gpu.sms[0].l1 is None
+        # Hot-set reuse now shows up at the shared L2 instead.
+        assert gpu.mem_stats.apps[0].l2_hits > 0
+
+    def test_l1_hit_faster_than_l2_path(self):
+        """All-L1-hit kernels run at near-peak IPC despite low TLP."""
+        hot = KernelSpec(
+            "h", compute_per_mem=10, warps_per_block=4, reuse_fraction=1.0,
+            hot_set_lines=32, max_resident_blocks=2,
+        )
+        gpu = GPU(cfg(), [hot])
+        gpu.run(20_000)
+        assert gpu.sm_counters[0].alpha < 0.2
+
+    def test_l1_flushed_on_ownership_change(self):
+        spec_a = KernelSpec(
+            "a", compute_per_mem=5, warps_per_block=4, insts_per_warp=40,
+        )
+        spec_b = KernelSpec("b", compute_per_mem=5, warps_per_block=4)
+        gpu = GPU(cfg(n_sms=2), [spec_a, spec_b], sm_partition=[1, 1])
+        gpu.run(1_000)
+        sm = gpu.sms[0]
+        assert sum(sm.l1.occupancy_by_app().values()) > 0
+        gpu.migrate_sms(0, 1, 99)  # clamps to keep one SM — drain nothing
+        # Drain SM 0 manually and reassign.
+        done = []
+        sm.start_draining(done.append)
+        gpu.run(200_000)
+        assert done
+        sm.assign_app(1)
+        assert sum(sm.l1.occupancy_by_app().values()) == 0
+
+
+class TestStores:
+    def test_pure_store_kernel_never_stalls_long(self):
+        spec = KernelSpec(
+            "w", compute_per_mem=5, warps_per_block=4, store_fraction=1.0,
+        )
+        gpu = GPU(cfg(), [spec])
+        gpu.run(30_000)
+        # Stores are fire-and-forget: the warp waits only l1_latency.
+        assert gpu.sm_counters[0].alpha < 0.1
+        # Yet the memory system sees the traffic.
+        assert gpu.mem_stats.apps[0].requests_served > 0
+
+    def test_store_traffic_counted_in_bandwidth(self):
+        load = KernelSpec("l", compute_per_mem=20, warps_per_block=4)
+        store = KernelSpec(
+            "s", compute_per_mem=20, warps_per_block=4, store_fraction=1.0,
+        )
+        bw = {}
+        for name, spec in (("load", load), ("store", store)):
+            gpu = GPU(cfg(), [spec])
+            gpu.run(30_000)
+            bw[name] = gpu.bandwidth_utilization(0)
+        # Store kernels push at least as much bandwidth (no stall throttle).
+        assert bw["store"] >= bw["load"] * 0.8
+
+    def test_mixed_store_fraction(self):
+        spec = KernelSpec(
+            "m", compute_per_mem=5, warps_per_block=4, store_fraction=0.5,
+        )
+        gpu = GPU(cfg(), [spec])
+        gpu.run(20_000)
+        assert gpu.mem_stats.apps[0].requests_served > 0
+
+    def test_bad_store_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec("x", compute_per_mem=1, store_fraction=1.5)
+
+    def test_next_mem_access_tags_stores(self):
+        from repro.sim.kernel import WarpStream
+
+        spec = KernelSpec("x", compute_per_mem=1, store_fraction=1.0)
+        s = WarpStream(spec, 0, 0, 0, 1, 128)
+        s.next_compute_burst()
+        addrs, is_store = s.next_mem_access()
+        assert is_store and addrs
+
+    def test_loads_by_default(self):
+        from repro.sim.kernel import WarpStream
+
+        spec = KernelSpec("x", compute_per_mem=1)
+        s = WarpStream(spec, 0, 0, 0, 1, 128)
+        s.next_compute_burst()
+        _, is_store = s.next_mem_access()
+        assert not is_store

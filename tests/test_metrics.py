@@ -1,0 +1,126 @@
+"""Tests for the paper's metrics (Eqs. 1, 2, 26, 27)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    error_distribution,
+    estimation_error,
+    harmonic_speedup,
+    mean,
+    slowdown,
+    unfairness,
+)
+
+positive = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+class TestSlowdown:
+    def test_basic(self):
+        assert slowdown(2.0, 1.0) == 2.0
+
+    def test_no_interference(self):
+        assert slowdown(1.5, 1.5) == 1.0
+
+    def test_zero_shared_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown(1.0, 0.0)
+
+
+class TestUnfairness:
+    def test_ideal_is_one(self):
+        assert unfairness([2.0, 2.0, 2.0]) == 1.0
+
+    def test_paper_motivation_example(self):
+        # SD slowdown 3.44, SA slowdown 1.37 → unfairness ≈ 2.51 (§3.1)
+        assert unfairness([3.44, 1.37]) == pytest.approx(2.51, abs=0.01)
+
+    def test_single_app(self):
+        assert unfairness([1.8]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            unfairness([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            unfairness([1.0, 0.0])
+
+    @given(st.lists(positive, min_size=1, max_size=10))
+    def test_property_at_least_one(self, slowdowns):
+        assert unfairness(slowdowns) >= 1.0
+
+    @given(st.lists(positive, min_size=1, max_size=10), positive)
+    def test_property_scale_invariant(self, slowdowns, k):
+        scaled = [s * k for s in slowdowns]
+        assert unfairness(scaled) == pytest.approx(
+            unfairness(slowdowns), rel=1e-9
+        )
+
+
+class TestHarmonicSpeedup:
+    def test_no_slowdown_gives_one(self):
+        assert harmonic_speedup([1.0, 1.0]) == 1.0
+
+    def test_even_two_way_sharing(self):
+        # Both apps slowed 2×: H-speedup = 2 / (2+2) = 0.5
+        assert harmonic_speedup([2.0, 2.0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_speedup([])
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=50.0), min_size=1, max_size=8))
+    def test_property_bounded_by_one_under_contention(self, slowdowns):
+        assert 0.0 < harmonic_speedup(slowdowns) <= 1.0
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=50.0), min_size=2, max_size=8))
+    def test_property_monotone_in_any_slowdown(self, slowdowns):
+        worse = list(slowdowns)
+        worse[0] *= 2
+        assert harmonic_speedup(worse) < harmonic_speedup(slowdowns)
+
+
+class TestEstimationError:
+    def test_exact_estimate(self):
+        assert estimation_error(2.0, 2.0) == 0.0
+
+    def test_symmetric_numerator(self):
+        assert estimation_error(1.5, 2.0) == pytest.approx(0.25)
+        assert estimation_error(2.5, 2.0) == pytest.approx(0.25)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            estimation_error(1.0, 0.0)
+
+    @given(positive, positive)
+    def test_property_nonnegative(self, est, act):
+        assert estimation_error(est, act) >= 0.0
+
+
+class TestErrorDistribution:
+    def test_bins_cover_everything(self):
+        d = error_distribution([0.05, 0.15, 0.25, 0.35, 0.9])
+        assert sum(d.values()) == pytest.approx(1.0)
+        assert d["<10%"] == pytest.approx(0.2)
+        assert d[">40%"] == pytest.approx(0.2)
+
+    def test_boundary_goes_to_upper_bin(self):
+        d = error_distribution([0.1])
+        assert d["<10%"] == 0.0
+        assert d["10%-20%"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_distribution([])
+
+    @given(st.lists(st.floats(min_value=0, max_value=5), min_size=1, max_size=50))
+    def test_property_fractions_sum_to_one(self, errors):
+        d = error_distribution(errors)
+        assert sum(d.values()) == pytest.approx(1.0)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])

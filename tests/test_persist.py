@@ -1,0 +1,46 @@
+"""Tests for result persistence."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.persist import load_result, save_result
+
+
+@dataclasses.dataclass
+class Nested:
+    x: float
+    tags: tuple
+
+
+def test_roundtrip(tmp_path):
+    payload = {"a": 1, "b": [1.23456789, "s"], "c": Nested(0.5, ("t",))}
+    path = save_result("demo", payload, directory=tmp_path)
+    assert path.exists()
+    back = load_result("demo", directory=tmp_path)
+    assert back["a"] == 1
+    assert back["b"][0] == pytest.approx(1.234568)
+    assert back["c"] == {"x": 0.5, "tags": ["t"]}
+
+
+def test_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+    path = save_result("x", {"v": 1})
+    assert path.parent == tmp_path / "r"
+    assert load_result("x") == {"v": 1}
+
+
+def test_bad_name_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_result("a/b", {}, directory=tmp_path)
+    with pytest.raises(ValueError):
+        save_result("", {}, directory=tmp_path)
+
+
+def test_non_serializable_falls_back_to_str(tmp_path):
+    class Weird:
+        def __str__(self):
+            return "weird"
+
+    save_result("w", {"o": Weird()}, directory=tmp_path)
+    assert load_result("w", directory=tmp_path) == {"o": "weird"}

@@ -1,0 +1,85 @@
+"""Tests for the profile-based oracle fairness policy."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.policies import ProfiledFairPolicy, profile_kernel
+from repro.sim.gpu import GPU
+from repro.sim.kernel import KernelSpec
+
+CFG = GPUConfig(n_sms=8, interval_cycles=4_000)
+
+
+def linear_profile(per_sm_ipc=1.0, n=8):
+    return {s: per_sm_ipc * s for s in range(1, n + 1)}
+
+
+class TestPrediction:
+    def test_linear_profile_predicts_sm_ratio(self):
+        pol = ProfiledFairPolicy(CFG, [linear_profile(), linear_profile()])
+        assert pol.predicted_slowdown(0, 4) == pytest.approx(2.0)
+        assert pol.predicted_slowdown(0, 8) == pytest.approx(1.0)
+
+    def test_interpolates_missing_counts(self):
+        prof = {2: 2.0, 6: 6.0, 8: 8.0}
+        pol = ProfiledFairPolicy(CFG, [prof, prof])
+        assert pol.predicted_slowdown(0, 4) == pytest.approx(2.0)
+
+    def test_extrapolates_below_smallest(self):
+        prof = {4: 4.0, 8: 8.0}
+        pol = ProfiledFairPolicy(CFG, [prof, prof])
+        assert pol.predicted_slowdown(0, 2) == pytest.approx(4.0)
+
+    def test_saturating_profile_caps_slowdown(self):
+        """A kernel whose IPC stops scaling keeps slowdown ≈ 1 even with
+        fewer SMs (the MBB case profiling does capture)."""
+        flat = {s: 5.0 for s in range(1, 9)}
+        pol = ProfiledFairPolicy(CFG, [flat, flat])
+        assert pol.predicted_slowdown(0, 2) == pytest.approx(1.0)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            ProfiledFairPolicy(CFG, [])
+        with pytest.raises(ValueError):
+            ProfiledFairPolicy(CFG, [{4: 0.0}])
+
+
+class TestBestPartition:
+    def test_symmetric_profiles_even_split(self):
+        pol = ProfiledFairPolicy(CFG, [linear_profile(), linear_profile()])
+        part, unf = pol.best_partition()
+        assert part == (4, 4)
+        assert unf == pytest.approx(1.0)
+
+    def test_saturating_app_donates_sms(self):
+        """A flat-profile (MBB-ish) app should give SMs to a scaling app."""
+        flat = {s: 5.0 for s in range(1, 9)}
+        pol = ProfiledFairPolicy(CFG, [linear_profile(), flat])
+        part, _ = pol.best_partition()
+        assert part[0] > part[1]
+
+
+class TestEndToEnd:
+    def test_profile_kernel_measures_scaling(self):
+        spec = KernelSpec("p", compute_per_mem=40, warps_per_block=4,
+                          insts_per_warp=500)
+        prof = profile_kernel(spec, CFG, sm_counts=[2, 4, 8], cycles=12_000)
+        assert set(prof) == {2, 4, 8}
+        assert prof[8] > prof[4] > prof[2] > 0
+
+    def test_policy_applies_once(self):
+        flat_spec = KernelSpec("f", compute_per_mem=1, warps_per_block=6,
+                               insts_per_warp=300)
+        scaling_spec = KernelSpec("s", compute_per_mem=40, warps_per_block=4,
+                                  insts_per_warp=300)
+        profiles = [
+            profile_kernel(scaling_spec, CFG, sm_counts=[2, 4, 6, 8],
+                           cycles=10_000, stream_id=0),
+            profile_kernel(flat_spec, CFG, sm_counts=[2, 4, 6, 8],
+                           cycles=10_000, stream_id=1),
+        ]
+        gpu = GPU(CFG, [scaling_spec, flat_spec])
+        pol = ProfiledFairPolicy(CFG, profiles)
+        pol.attach(gpu)
+        gpu.run(40_000)
+        assert len(pol.decisions) == 1  # static policy: one decision

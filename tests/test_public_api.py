@@ -1,0 +1,76 @@
+"""The public API surface must stay importable and complete."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.config",
+        "repro.metrics",
+        "repro.hwcost",
+        "repro.cli",
+        "repro.sim",
+        "repro.sim.engine",
+        "repro.sim.address",
+        "repro.sim.kernel",
+        "repro.sim.sm",
+        "repro.sim.cache",
+        "repro.sim.atd",
+        "repro.sim.dram",
+        "repro.sim.gpu",
+        "repro.sim.stats",
+        "repro.core",
+        "repro.core.base",
+        "repro.core.classify",
+        "repro.core.dase",
+        "repro.core.mise",
+        "repro.core.asm",
+        "repro.core.sampling",
+        "repro.policies",
+        "repro.policies.sm_alloc",
+        "repro.policies.qos",
+        "repro.policies.profiled",
+        "repro.policies.temporal",
+        "repro.workloads",
+        "repro.workloads.suite",
+        "repro.workloads.generator",
+        "repro.harness",
+        "repro.harness.runner",
+        "repro.harness.experiments",
+        "repro.harness.report",
+        "repro.harness.telemetry",
+    ],
+)
+def test_module_imports_and_has_docstring(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} lacks a module docstring"
+
+
+def test_subpackage_all_exports_resolve():
+    for pkg_name in ("repro.sim", "repro.core", "repro.policies",
+                     "repro.workloads", "repro.harness"):
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            assert hasattr(pkg, name), f"{pkg_name}.{name}"
+
+
+def test_public_classes_documented():
+    """Every public class and function in __all__ carries a docstring."""
+    for pkg_name in ("repro", "repro.sim", "repro.core", "repro.policies",
+                     "repro.workloads", "repro.harness"):
+        pkg = importlib.import_module(pkg_name)
+        for name in pkg.__all__:
+            obj = getattr(pkg, name)
+            if callable(obj):
+                assert obj.__doc__, f"{pkg_name}.{name} lacks a docstring"

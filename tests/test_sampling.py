@@ -1,0 +1,112 @@
+"""Tests for the MISE/ASM priority-epoch rotator."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core.sampling import PriorityRotator, RateAccumulators
+from repro.sim.gpu import GPU
+from repro.sim.kernel import KernelSpec
+
+
+def make_gpu(epoch=1000, interval=10_000, gap_ratio=1):
+    cfg = GPUConfig(interval_cycles=interval)
+    specs = [
+        KernelSpec("a", compute_per_mem=5, warps_per_block=4),
+        KernelSpec("b", compute_per_mem=5, warps_per_block=4),
+    ]
+    gpu = GPU(cfg, specs)
+    rot = PriorityRotator(cfg, epoch_cycles=epoch, gap_ratio=gap_ratio)
+    rot.attach(gpu)
+    return gpu, rot
+
+
+class TestRotation:
+    def test_initial_phase_prioritizes_app0(self):
+        gpu, rot = make_gpu()
+        assert gpu.partitions[0].priority_app == 0
+
+    def test_phases_alternate_priority_and_none(self):
+        gpu, rot = make_gpu(epoch=1000)
+        seq = []
+        for _ in range(6):
+            seq.append(gpu.partitions[0].priority_app)
+            gpu.run(1000)
+        assert seq == [0, None, 1, None, 0, None]
+
+    def test_accumulators_fill_both_kinds(self):
+        gpu, rot = make_gpu(epoch=500)
+        gpu.run(20_000)
+        acc = rot.acc
+        for i in range(2):
+            assert acc.prio_time[i] > 0
+            assert acc.shared_time[i] > 0
+            assert acc.prio_requests[i] > 0
+            assert acc.shared_requests[i] > 0
+
+    def test_priority_epochs_split_evenly(self):
+        gpu, rot = make_gpu(epoch=500)
+        gpu.run(20_000)
+        assert rot.acc.prio_time[0] == pytest.approx(rot.acc.prio_time[1], rel=0.3)
+
+    def test_shared_time_half_of_total(self):
+        """Odd phases are no-priority gaps: half the epochs."""
+        gpu, rot = make_gpu(epoch=500)
+        gpu.run(20_000)
+        total_shared = rot.acc.shared_time[0]
+        assert total_shared == pytest.approx(20_000 / 2, rel=0.15)
+
+    def test_double_attach_rejected(self):
+        gpu, rot = make_gpu()
+        with pytest.raises(RuntimeError):
+            rot.attach(gpu)
+
+    def test_default_epoch_from_interval(self):
+        cfg = GPUConfig(interval_cycles=50_000)
+        rot = PriorityRotator(cfg)
+        assert rot.epoch_cycles == 2500
+
+    def test_gap_ratio_lengthens_no_priority_phases(self):
+        gpu, rot = make_gpu(epoch=500, gap_ratio=3)
+        gpu.run(20_000)
+        acc = rot.acc
+        total_prio = acc.prio_time[0] + acc.prio_time[1]
+        total_shared = acc.shared_time[0]
+        assert total_shared > total_prio * 2
+
+    def test_bad_gap_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityRotator(GPUConfig(), gap_ratio=0)
+
+
+class TestAccumulators:
+    def test_snapshot_delta_roundtrip(self):
+        a = RateAccumulators.zeros(2)
+        snap = a.snapshot()
+        a.prio_requests[0] += 10
+        a.shared_time[1] += 5
+        d = a.snapshot().delta(snap)
+        assert d.prio_requests == [10, 0]
+        assert d.shared_time == [0, 5]
+
+    def test_snapshot_is_independent_copy(self):
+        a = RateAccumulators.zeros(1)
+        snap = a.snapshot()
+        a.prio_time[0] = 99
+        assert snap.prio_time[0] == 0
+
+
+class TestPriorityEffect:
+    def test_priority_app_gets_better_service_under_saturation(self):
+        """When the DRAM is saturated, the prioritized app's service rate
+        during its epochs beats its no-priority rate."""
+        cfg = GPUConfig(interval_cycles=30_000)
+        flood = KernelSpec("f", compute_per_mem=0, warps_per_block=6)
+        victim = KernelSpec("v", compute_per_mem=2, warps_per_block=6)
+        gpu = GPU(cfg, [victim, flood])
+        rot = PriorityRotator(cfg, epoch_cycles=1500)
+        rot.attach(gpu)
+        gpu.run(60_000)
+        acc = rot.acc
+        arsr = acc.prio_requests[0] / acc.prio_time[0]
+        srsr = acc.shared_requests[0] / acc.shared_time[0]
+        assert arsr > srsr * 1.1

@@ -1,0 +1,202 @@
+"""Unit tests for the SM processor-sharing model.
+
+The SM is exercised through a minimal single-SM GPU so the warp ↔ memory
+loop behaves exactly as in full runs.
+"""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPU, LaunchedKernel
+from repro.sim.kernel import AccessPattern, KernelSpec
+
+
+def tiny_config(**over):
+    over.setdefault("n_sms", 1)
+    over.setdefault("interval_cycles", 100_000)
+    return GPUConfig(**over)
+
+
+def one_warp_kernel(**over):
+    over.setdefault("compute_per_mem", 10)
+    over.setdefault("warps_per_block", 1)
+    over.setdefault("blocks_total", 1)
+    over.setdefault("insts_per_warp", 100)
+    over.setdefault("burst_jitter", 0.0)
+    return KernelSpec("t", **over)
+
+
+class TestSingleWarpTiming:
+    def test_instruction_count_exact(self):
+        spec = one_warp_kernel()
+        gpu = GPU(tiny_config(), [LaunchedKernel(spec, restart=False)])
+        gpu.run(1_000_000)
+        assert gpu.progress[0].instructions == 100
+
+    def test_serial_warp_time_is_compute_plus_memory(self):
+        """One warp: total time ≈ instructions + rounds × memory latency."""
+        spec = one_warp_kernel(compute_per_mem=9, insts_per_warp=100)
+        cfg = tiny_config()
+        gpu = GPU(cfg, [LaunchedKernel(spec, restart=False)])
+        gpu.run(1_000_000)
+        gpu.engine._heap.clear()
+        rounds = 10  # 100 insts / (9 compute + 1 mem)
+        min_latency = 2 * cfg.icnt_latency + cfg.l2_latency
+        elapsed = 100 + rounds * min_latency
+        # The finish event is the last memory response.
+        assert gpu.sm_counters[0].busy_time >= 100
+        assert gpu.sm_counters[0].stall_time >= rounds * min_latency * 0.8
+        assert gpu.sm_counters[0].busy_time + gpu.sm_counters[0].stall_time >= (
+            elapsed * 0.8
+        )
+
+    def test_alpha_zero_for_pure_parallel_compute(self):
+        """Many warps with long compute bursts: latency fully hidden."""
+        spec = KernelSpec(
+            "c", compute_per_mem=200, warps_per_block=8, insts_per_warp=1000,
+        )
+        gpu = GPU(tiny_config(), [spec])
+        gpu.run(30_000)
+        assert gpu.sm_counters[0].alpha < 0.02
+
+    def test_alpha_high_for_memory_flood(self):
+        spec = KernelSpec(
+            "m", compute_per_mem=0, warps_per_block=2, insts_per_warp=10_000,
+            max_resident_blocks=1,
+        )
+        gpu = GPU(tiny_config(), [spec])
+        gpu.run(30_000)
+        assert gpu.sm_counters[0].alpha > 0.5
+
+
+class TestProcessorSharing:
+    def test_issue_rate_never_exceeds_width(self):
+        spec = KernelSpec(
+            "w", compute_per_mem=100, warps_per_block=8, insts_per_warp=5000,
+        )
+        cfg = tiny_config()
+        gpu = GPU(cfg, [spec])
+        gpu.run(20_000)
+        ipc = gpu.progress[0].instructions / gpu.engine.now
+        assert ipc <= cfg.issue_width + 1e-6
+
+    def test_issue_rate_approaches_width_with_enough_warps(self):
+        spec = KernelSpec(
+            "w", compute_per_mem=100, warps_per_block=8, insts_per_warp=5000,
+        )
+        gpu = GPU(tiny_config(), [spec])
+        # Long enough to amortize the pipeline fill (the first bursts only
+        # retire after ~warps × burst cycles).
+        gpu.run(60_000)
+        ipc = gpu.progress[0].instructions / gpu.engine.now
+        assert ipc > 0.9
+
+    def test_wider_issue_config(self):
+        spec = KernelSpec(
+            "w", compute_per_mem=100, warps_per_block=8, insts_per_warp=5000,
+        )
+        gpu = GPU(tiny_config(issue_width=2), [spec])
+        gpu.run(20_000)
+        ipc = gpu.progress[0].instructions / gpu.engine.now
+        assert 1.2 < ipc <= 2.0
+
+
+class TestOccupancy:
+    def test_block_capacity_by_warps(self):
+        cfg = tiny_config()
+        gpu = GPU(cfg, [KernelSpec("x", compute_per_mem=1, warps_per_block=12)])
+        sm = gpu.sms[0]
+        # 48 warps / 12 per block = 4 blocks, below the 8-block cap.
+        assert sm.max_resident_blocks(12) == 4
+
+    def test_block_capacity_by_block_cap(self):
+        cfg = tiny_config()
+        gpu = GPU(cfg, [KernelSpec("x", compute_per_mem=1, warps_per_block=2)])
+        assert gpu.sms[0].max_resident_blocks(2) == cfg.max_blocks_per_sm
+
+    def test_kernel_occupancy_limit_respected(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=5, warps_per_block=4, max_resident_blocks=2,
+        )
+        gpu = GPU(tiny_config(), [spec])
+        gpu.run(1000)
+        assert len(gpu.sms[0].blocks) == 2
+
+    def test_blocks_refill_as_they_finish(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=2, warps_per_block=2, insts_per_warp=20,
+            blocks_total=1000,
+        )
+        gpu = GPU(tiny_config(), [spec])
+        gpu.run(20_000)
+        assert gpu.progress[0].blocks_finished > 10
+        # SM stays fully occupied while work remains.
+        assert len(gpu.sms[0].blocks) == gpu.sms[0].max_resident_blocks(2)
+
+
+class TestDraining:
+    def test_draining_sm_accepts_no_new_blocks(self):
+        spec = KernelSpec(
+            "x", compute_per_mem=5, warps_per_block=4, insts_per_warp=40,
+        )
+        gpu = GPU(tiny_config(n_sms=2), [spec, KernelSpec(
+            "y", compute_per_mem=5, warps_per_block=4, insts_per_warp=40,
+        )], sm_partition=[1, 1])
+        gpu.run(100)
+        sm = gpu.sms[0]
+        drained = []
+        sm.start_draining(drained.append)
+        assert not sm.can_accept_block(4)
+        gpu.run(100_000)
+        assert drained == [sm]
+        assert sm.app is None
+
+    def test_drain_empty_sm_fires_immediately(self):
+        gpu = GPU(tiny_config(n_sms=2), [
+            KernelSpec("x", compute_per_mem=5, warps_per_block=4),
+            KernelSpec("y", compute_per_mem=5, warps_per_block=4),
+        ], sm_partition=[1, 1])
+        # SM 1 belongs to app 1 but has no blocks yet (run not started).
+        drained = []
+        gpu.sms[1].start_draining(drained.append)
+        assert drained == [gpu.sms[1]]
+
+    def test_cannot_reassign_sm_with_blocks(self):
+        spec = KernelSpec("x", compute_per_mem=5, warps_per_block=4)
+        gpu = GPU(tiny_config(), [spec])
+        gpu.run(100)
+        with pytest.raises(RuntimeError):
+            gpu.sms[0].assign_app(None)
+
+
+class TestMigration:
+    def two_app_gpu(self):
+        mk = lambda n: KernelSpec(
+            n, compute_per_mem=10, warps_per_block=4, insts_per_warp=60,
+        )
+        cfg = tiny_config(n_sms=4)
+        return GPU(cfg, [mk("a"), mk("b")], sm_partition=[2, 2])
+
+    def test_migrate_moves_ownership_after_drain(self):
+        gpu = self.two_app_gpu()
+        gpu.run(100)
+        gpu.migrate_sms(0, 1, 1)
+        gpu.run(100_000)
+        assert gpu.sm_counts() == [1, 3]
+
+    def test_migrate_never_takes_last_sm(self):
+        gpu = self.two_app_gpu()
+        gpu.run(100)
+        gpu.migrate_sms(0, 1, 99)
+        gpu.run(100_000)
+        counts = gpu.sm_counts()
+        assert counts[0] >= 1
+
+    def test_migrated_sm_runs_new_apps_blocks(self):
+        gpu = self.two_app_gpu()
+        gpu.run(100)
+        gpu.migrate_sms(0, 1, 1)
+        gpu.run(100_000)
+        moved = [sm for sm in gpu.sms if sm.app == 1]
+        assert len(moved) == 3
+        assert all(b.app == 1 for sm in moved for b in sm.blocks)

@@ -1,0 +1,75 @@
+"""Tests for the telemetry recorder."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.core import DASE
+from repro.harness import Telemetry
+from repro.sim.gpu import GPU
+from repro.sim.kernel import KernelSpec
+
+CFG = GPUConfig(interval_cycles=5_000)
+
+
+def make_run(with_estimator=True, cycles=15_000):
+    gpu = GPU(CFG, [
+        KernelSpec("a", compute_per_mem=10, warps_per_block=4),
+        KernelSpec("b", compute_per_mem=30, warps_per_block=4),
+    ])
+    ests = {}
+    if with_estimator:
+        dase = DASE(CFG)
+        dase.attach(gpu)
+        ests["DASE"] = dase
+    tel = Telemetry(ests)
+    tel.attach(gpu)
+    gpu.run(cycles)
+    return gpu, tel
+
+
+class TestTelemetry:
+    def test_one_sample_per_app_per_interval(self):
+        _, tel = make_run()
+        assert len(tel.samples) == 3 * 2  # 3 intervals × 2 apps
+
+    def test_samples_carry_estimates(self):
+        _, tel = make_run()
+        for s in tel.samples:
+            assert "DASE" in s.estimates
+            assert s.estimates["DASE"] is None or s.estimates["DASE"] >= 1.0
+
+    def test_series_extraction(self):
+        _, tel = make_run()
+        ipc = tel.series(0, "ipc")
+        assert len(ipc) == 3
+        assert all(v > 0 for v in ipc)
+        ests = tel.series(1, "DASE")
+        assert len(ests) == 3
+
+    def test_sample_fields_sane(self):
+        _, tel = make_run()
+        for s in tel.samples:
+            assert 0.0 <= s.alpha <= 1.0
+            assert 0.0 <= s.l2_hit_rate <= 1.0
+            assert 0.0 <= s.bw_share <= 1.0
+            assert s.sm_count == 8
+            assert s.cycle % 5_000 == 0
+
+    def test_csv_export(self):
+        _, tel = make_run()
+        csv = tel.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("cycle,app,ipc")
+        assert lines[0].endswith("est_DASE")
+        assert len(lines) == 1 + len(tel.samples)
+        assert all(line.count(",") == lines[0].count(",") for line in lines)
+
+    def test_without_estimators(self):
+        _, tel = make_run(with_estimator=False)
+        assert tel.samples
+        assert tel.samples[0].estimates == {}
+
+    def test_double_attach_rejected(self):
+        gpu, tel = make_run()
+        with pytest.raises(RuntimeError):
+            tel.attach(gpu)

@@ -1,0 +1,123 @@
+"""Tests for the temporal-multitasking and LEFTOVER baselines."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.policies import TimeSlicePolicy, leftover_partition
+from repro.sim.gpu import GPU, LaunchedKernel
+from repro.sim.kernel import KernelSpec
+
+
+def make_gpu(n_sms=8, interval=3_000, blocks_total=10_000, restart=True):
+    cfg = GPUConfig(n_sms=n_sms, interval_cycles=interval)
+    mk = lambda n, bt: LaunchedKernel(
+        KernelSpec(n, compute_per_mem=10, warps_per_block=4,
+                   insts_per_warp=120, blocks_total=bt),
+        restart=restart,
+    )
+    return cfg, GPU(cfg, [mk("a", blocks_total), mk("b", blocks_total)])
+
+
+class TestTimeSlice:
+    def test_initial_slice_gives_gpu_to_app0(self):
+        cfg, gpu = make_gpu()
+        pol = TimeSlicePolicy(cfg, quantum_intervals=2)
+        pol.attach(gpu)
+        gpu.run(30_000)
+        assert pol.switches[0][1] == 0
+        # At some point app 0 held 7 of 8 SMs.
+        assert max(c for c, _ in [(gpu.sm_counts()[0], 0)]) >= 1  # sanity
+
+    def test_rotation_happens(self):
+        cfg, gpu = make_gpu()
+        pol = TimeSlicePolicy(cfg, quantum_intervals=1)
+        pol.attach(gpu)
+        gpu.run(60_000)
+        actives = [a for _, a in pol.switches]
+        assert 0 in actives and 1 in actives
+        assert len(pol.switches) >= 3
+
+    def test_active_app_holds_most_sms(self):
+        cfg, gpu = make_gpu()
+        pol = TimeSlicePolicy(cfg, quantum_intervals=50)  # never rotate
+        pol.attach(gpu)
+        gpu.run(40_000)
+        counts = gpu.sm_counts()
+        assert counts[0] == cfg.n_sms - 1
+        assert counts[1] == 1
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSlicePolicy(GPUConfig(), quantum_intervals=0)
+
+    def test_both_apps_progress_across_quanta(self):
+        cfg, gpu = make_gpu()
+        pol = TimeSlicePolicy(cfg, quantum_intervals=1)
+        pol.attach(gpu)
+        gpu.run(60_000)
+        assert all(p.instructions > 0 for p in gpu.progress)
+
+
+class TestLeftoverPartition:
+    def spec(self, **over):
+        over.setdefault("compute_per_mem", 10)
+        over.setdefault("warps_per_block", 4)
+        return KernelSpec("k", **over)
+
+    def test_big_grid_monopolizes(self):
+        cfg = GPUConfig(n_sms=8)
+        parts = leftover_partition(cfg, [self.spec(), self.spec()])
+        assert parts == [7, 1]
+
+    def test_three_kernels(self):
+        cfg = GPUConfig(n_sms=8)
+        parts = leftover_partition(cfg, [self.spec()] * 3)
+        assert parts == [6, 1, 1]
+
+    def test_small_grid_leaves_room(self):
+        cfg = GPUConfig(n_sms=8)
+        small = self.spec(blocks_total=4)
+        parts = leftover_partition(cfg, [small, self.spec()], restart=False)
+        # 4 blocks fit on one SM (8-block cap): genuine leftovers remain.
+        assert parts[0] == 1
+        assert parts[1] == 7
+
+    def test_occupancy_limit_respected(self):
+        cfg = GPUConfig(n_sms=8)
+        limited = self.spec(blocks_total=6, max_resident_blocks=2)
+        parts = leftover_partition(cfg, [limited, self.spec()], restart=False)
+        assert parts[0] == 3  # ceil(6 / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            leftover_partition(GPUConfig(), [])
+
+    def test_partition_is_runnable(self):
+        cfg = GPUConfig(n_sms=8, interval_cycles=4_000)
+        specs = [self.spec(), self.spec()]
+        gpu = GPU(cfg, specs, sm_partition=leftover_partition(cfg, specs))
+        gpu.run(10_000)
+        assert all(p.instructions > 0 for p in gpu.progress)
+
+
+class TestMotivationComparison:
+    @pytest.mark.slow
+    def test_even_spatial_beats_leftover_on_fairness(self):
+        """The paper's §2.2 claim: LEFTOVER nearly serializes; even spatial
+        sharing is fairer to the late-launched application."""
+        from repro.harness import run_workload, scaled_config
+        from repro.workloads import SUITE
+
+        cfg = scaled_config()
+        even = run_workload(["SD", "VA"], config=cfg, shared_cycles=120_000,
+                            models=())
+        specs = [SUITE["SD"], SUITE["VA"]]
+        lo = run_workload(
+            ["SD", "VA"], config=cfg, shared_cycles=120_000, models=(),
+            sm_partition=leftover_partition(cfg, specs),
+        )
+        # VA (launched second, one SM) starves under LEFTOVER: its slowdown
+        # explodes relative to the even spatial split — the responsiveness
+        # problem §2.2 describes.
+        assert lo.actual_slowdowns[1] > even.actual_slowdowns[1] * 1.5
+        assert lo.actual_slowdowns[1] > 3.0
