@@ -5,8 +5,11 @@ Unlike the experiment benchmarks these use normal pytest-benchmark rounds,
 since they are genuine micro-benchmarks.
 """
 
+import time
+
 from repro import GPU
 from repro.harness import scaled_config
+from repro.harness.experiments import DEFAULT_PAIRS, estimation_accuracy
 from repro.workloads import SUITE
 
 
@@ -52,3 +55,34 @@ def test_sim_cycles_per_second_saturated(benchmark):
         return gpu.engine.now
 
     assert benchmark.pedantic(run, rounds=1, iterations=1) == 30_000
+
+
+def test_parallel_warm_sweep_beats_serial(tmp_path):
+    """Acceptance: a 10-pair error sweep with ``jobs=4`` on a warm
+    alone-replay cache finishes in less wall time than the serial
+    cache-less seed path, and produces identical numbers.
+
+    The assertion is deliberately loose (strictly faster, no margin):
+    worker start-up costs are real, and the point is that fan-out plus
+    replay memoisation is a net win, not a precise speed-up factor.
+    """
+    cfg = scaled_config()
+    pairs = DEFAULT_PAIRS[:10]
+    cycles = 30_000
+    kw = dict(config=cfg, shared_cycles=cycles, models=("DASE",))
+
+    t0 = time.perf_counter()
+    serial = estimation_accuracy(pairs, **kw)
+    serial_s = time.perf_counter() - t0
+
+    # Warm the on-disk cache, then time the pooled warm-cache sweep.
+    estimation_accuracy(pairs, jobs=4, cache_dir=str(tmp_path), **kw)
+    t0 = time.perf_counter()
+    warm = estimation_accuracy(pairs, jobs=4, cache_dir=str(tmp_path), **kw)
+    warm_s = time.perf_counter() - t0
+
+    assert warm.per_workload == serial.per_workload  # determinism contract
+    assert warm_s < serial_s, (
+        f"warm parallel sweep ({warm_s:.2f}s) not faster than the serial "
+        f"seed path ({serial_s:.2f}s)"
+    )

@@ -3,8 +3,9 @@
     python -m repro list
     python -m repro table3
     python -m repro fig5 --limit 4
+    python -m repro fig5 --jobs 4 --cache-dir results/alone_cache
     python -m repro run SD SB --cycles 120000
-    REPRO_FULL=1 python -m repro fig9
+    REPRO_FULL=1 python -m repro fig9 --jobs 8
 """
 
 from __future__ import annotations
@@ -71,29 +72,32 @@ def _cmd_fig(args) -> int:
     from repro.harness import report as rp
 
     name = args.experiment
+    # Sweep-shaped experiments fan out across --jobs worker processes and
+    # memoise alone replays under --cache-dir (see docs/parallel-harness.md).
+    par = {"jobs": args.jobs, "cache_dir": args.cache_dir}
     if name == "fig2":
-        print(rp.render_fig2(ex.fig2_unfairness()))
+        print(rp.render_fig2(ex.fig2_unfairness(**par)))
     elif name == "fig3":
         print(rp.render_fig3(ex.fig3_service_rate()))
     elif name == "fig4":
         print(rp.render_fig4(ex.fig4_mbb_requests()))
     elif name == "fig5":
-        res = ex.fig5_two_app_accuracy(limit=args.limit)
+        res = ex.fig5_two_app_accuracy(limit=args.limit, **par)
         print(rp.render_accuracy(res, "Fig 5 — two-application error"))
     elif name == "fig6":
-        res = ex.fig6_four_app_accuracy(count=args.limit)
+        res = ex.fig6_four_app_accuracy(count=args.limit, **par)
         print(rp.render_accuracy(res, "Fig 6 — four-application error"))
     elif name == "fig7":
-        two = ex.fig5_two_app_accuracy(limit=args.limit)
+        two = ex.fig5_two_app_accuracy(limit=args.limit, **par)
         print(rp.render_distribution(ex.fig7_error_distribution(two)))
     elif name == "fig8a":
         print(rp.render_sensitivity(
-            ex.fig8a_sm_allocation_sensitivity(), "Fig 8a — SM split"))
+            ex.fig8a_sm_allocation_sensitivity(**par), "Fig 8a — SM split"))
     elif name == "fig8b":
         print(rp.render_sensitivity(
-            ex.fig8b_sm_count_sensitivity(), "Fig 8b — SM count"))
+            ex.fig8b_sm_count_sensitivity(**par), "Fig 8b — SM count"))
     elif name == "fig9":
-        print(rp.render_fig9(ex.fig9_dase_fair()))
+        print(rp.render_fig9(ex.fig9_dase_fair(**par)))
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     return 0
@@ -148,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
         fp = sub.add_parser(fig, help=f"reproduce {fig}")
         fp.add_argument("--limit", type=int, default=None,
                         help="limit the number of workloads swept")
+        fp.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: inline)")
+        fp.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk alone-replay cache "
+                             "(default: $REPRO_CACHE_DIR, else no caching)")
         fp.set_defaults(func=_cmd_fig, experiment=fig)
 
     rn = sub.add_parser("run", help="run an arbitrary workload")

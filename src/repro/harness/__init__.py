@@ -1,5 +1,6 @@
 """Evaluation harness: the paper's matched-instruction methodology
-(§5 'Workloads') and one driver per figure/table (§'experiments')."""
+(§5 'Workloads'), one driver per figure/table ('experiments'), and the
+process-pool sweep runner with its alone-replay cache ('parallel')."""
 
 from repro.harness.runner import (
     WorkloadResult,
@@ -8,7 +9,19 @@ from repro.harness.runner import (
     run_workload,
     scaled_config,
 )
-from repro.harness.persist import load_result, save_result
+from repro.harness.parallel import (
+    JobOutcome,
+    WorkloadJob,
+    run_jobs,
+    run_workloads,
+)
+from repro.harness.persist import (
+    atomic_write_json,
+    load_json,
+    load_result,
+    save_result,
+)
+from repro.harness.replay_cache import AloneReplayCache, resolve_cache
 from repro.harness.telemetry import Sample, Telemetry
 
 __all__ = [
@@ -17,8 +30,16 @@ __all__ = [
     "scaled_config",
     "default_shared_cycles",
     "full_scale",
+    "WorkloadJob",
+    "JobOutcome",
+    "run_jobs",
+    "run_workloads",
+    "AloneReplayCache",
+    "resolve_cache",
     "Telemetry",
     "Sample",
     "save_result",
     "load_result",
+    "atomic_write_json",
+    "load_json",
 ]

@@ -11,7 +11,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.config import GPUConfig
-from repro.core import DASE
+from repro.harness.parallel import run_workloads
 from repro.harness.runner import (
     WorkloadResult,
     default_shared_cycles,
@@ -20,7 +20,6 @@ from repro.harness.runner import (
     scaled_config,
 )
 from repro.metrics import error_distribution, mean
-from repro.policies import DASEFairPolicy
 from repro.sim.gpu import GPU, LaunchedKernel
 from repro.sim.kernel import AccessPattern, KernelSpec
 from repro.workloads import SUITE, four_app_workloads, two_app_workloads
@@ -60,6 +59,8 @@ def fig2_unfairness(
     combos: list[tuple[str, str]] | None = None,
     config: GPUConfig | None = None,
     shared_cycles: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig2Result:
     """Fig. 2: unfairness of SD paired with aggressive co-runners, and the
     bandwidth decomposition explaining it."""
@@ -67,11 +68,13 @@ def fig2_unfairness(
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
     out = Fig2Result(combos=combos, unfairness={}, slowdowns={}, breakdown={})
-    for pair in combos:
+    outcomes = run_workloads(
+        combos, jobs=jobs, config=config, shared_cycles=shared_cycles,
+        models=(), cache_dir=cache_dir,
+    )
+    for pair, outcome in zip(combos, outcomes):
         key = "+".join(pair)
-        res = run_workload(
-            list(pair), config=config, shared_cycles=shared_cycles, models=()
-        )
+        res = outcome.unwrap()
         out.unfairness[key] = res.actual_unfairness
         out.slowdowns[key] = res.actual_slowdowns
         # Re-run the shared execution to collect the bus decomposition
@@ -174,18 +177,30 @@ def fig4_mbb_requests(
 
 @dataclass
 class AccuracyResult:
-    """Per-model estimation errors over a set of workloads (Figs. 5/6/7)."""
+    """Per-model estimation errors over a set of workloads (Figs. 5/6/7).
+
+    ``skipped`` counts apps whose estimate was ``None`` per model, so the
+    reported means state their true sample size; ``failures`` maps combo
+    keys to worker tracebacks for workloads that crashed (they contribute
+    nothing to the error pools and are absent from ``per_workload``).
+    """
 
     workloads: list[tuple[str, ...]]
     per_workload: dict[str, dict[str, float]]  # combo key → model → mean err
     errors: dict[str, list[float]]  # model → all per-app errors
     results: list[WorkloadResult] = field(default_factory=list)
+    skipped: dict[str, int] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
 
     def mean_error(self, model: str) -> float:
         return mean(self.errors[model])
 
     def distribution(self, model: str) -> dict[str, float]:
         return error_distribution(self.errors[model])
+
+    def sample_count(self, model: str) -> int:
+        """Number of per-app errors actually pooled for ``model``."""
+        return len(self.errors[model])
 
 
 def estimation_accuracy(
@@ -194,23 +209,36 @@ def estimation_accuracy(
     shared_cycles: int | None = None,
     models: tuple[str, ...] = ("DASE", "MISE", "ASM"),
     sm_partition=None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> AccuracyResult:
-    """Shared driver for Figs. 5, 6 and 7."""
+    """Shared driver for Figs. 5, 6 and 7.
+
+    ``jobs`` fans the workloads out across that many worker processes
+    (see :mod:`repro.harness.parallel`); ``cache_dir`` memoises the alone
+    replays on disk across invocations.
+    """
     out = AccuracyResult(
         workloads=list(workloads),
         per_workload={},
         errors={m: [] for m in models},
+        skipped={m: 0 for m in models},
     )
-    for combo in workloads:
-        res = run_workload(
-            list(combo), config=config, shared_cycles=shared_cycles,
-            models=models, sm_partition=sm_partition,
-        )
+    outcomes = run_workloads(
+        workloads, jobs=jobs, config=config, shared_cycles=shared_cycles,
+        models=models, sm_partition=sm_partition, cache_dir=cache_dir,
+    )
+    for combo, outcome in zip(workloads, outcomes):
         key = "+".join(combo)
+        if not outcome.ok:
+            out.failures[key] = outcome.error or "unknown failure"
+            continue
+        res = outcome.result
         out.per_workload[key] = {}
         for m in models:
             errs = res.errors(m)
             out.errors[m].extend(errs)
+            out.skipped[m] += res.skipped(m)
             out.per_workload[key][m] = mean(errs) if errs else float("nan")
         out.results.append(res)
     return out
@@ -272,6 +300,8 @@ def fig8b_sm_count_sensitivity(
     sm_counts: list[int] | None = None,
     pairs: list[tuple[str, str]] | None = None,
     shared_cycles: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> SensitivityResult:
     """Fig. 8b: DASE accuracy when the GPU itself has fewer/more SMs."""
     sm_counts = sm_counts or [8, 16]
@@ -280,7 +310,8 @@ def fig8b_sm_count_sensitivity(
     for n in sm_counts:
         cfg = scaled_config(n_sms=n)
         acc = estimation_accuracy(
-            pairs, config=cfg, models=("DASE",), shared_cycles=shared_cycles
+            pairs, config=cfg, models=("DASE",), shared_cycles=shared_cycles,
+            jobs=jobs, cache_dir=cache_dir,
         )
         label = f"{n}SMs"
         labels.append(label)
@@ -324,26 +355,30 @@ def fig9_dase_fair(
     pairs: list[tuple[str, str]] | None = None,
     config: GPUConfig | None = None,
     shared_cycles: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
 ) -> Fig9Result:
     """Fig. 9: run each workload under the even policy and under DASE-Fair.
 
     Kernels the paper calls 'unfit' (too few thread blocks — here BG) are
-    excluded, as in the paper.
+    excluded, as in the paper.  The even and DASE-Fair runs of every pair
+    are independent, so all 2·N runs fan out together under ``jobs``.
     """
     if pairs is None:
         pairs = [p for p in pair_list() if "BG" not in p]
     config = config or scaled_config()
     out = Fig9Result([], {}, {}, {}, {})
-    for pair in pairs:
+    even_runs = run_workloads(
+        pairs, jobs=jobs, config=config, shared_cycles=shared_cycles,
+        models=(), cache_dir=cache_dir,
+    )
+    fair_runs = run_workloads(
+        pairs, jobs=jobs, config=config, shared_cycles=shared_cycles,
+        models=(), policy="dase_fair", cache_dir=cache_dir,
+    )
+    for pair, even_o, fair_o in zip(pairs, even_runs, fair_runs):
         key = "+".join(pair)
-        even = run_workload(
-            list(pair), config=config, shared_cycles=shared_cycles, models=()
-        )
-        policy = DASEFairPolicy(config)
-        fair = run_workload(
-            list(pair), config=config, shared_cycles=shared_cycles,
-            models=(), policy=policy,
-        )
+        even, fair = even_o.unwrap(), fair_o.unwrap()
         out.workloads.append(key)
         out.unfairness_even[key] = even.actual_unfairness
         out.unfairness_fair[key] = fair.actual_unfairness

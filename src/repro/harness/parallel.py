@@ -1,0 +1,196 @@
+"""Process-pool experiment runner.
+
+Figure sweeps are embarrassingly parallel: each :func:`run_workload` call
+is independent of every other, and the simulator is deterministic, so a
+workload produces the same :class:`WorkloadResult` whether it runs inline,
+in a worker process, or is reconstructed from cache.  This module provides
+the fan-out machinery:
+
+* :class:`WorkloadJob` — a picklable description of one run (app names or
+  :class:`KernelSpec` objects, config, cycles, partition, models, policy
+  name, cache directory);
+* :func:`run_jobs` — execute jobs across a ``ProcessPoolExecutor`` (or
+  inline for ``jobs <= 1``), returning :class:`JobOutcome` objects in
+  submission order with per-job failures captured instead of aborting the
+  sweep;
+* :func:`run_workloads` — the convenience wrapper figure drivers use.
+
+Policies cross the process boundary by *name* (see :data:`POLICIES`), not
+as live objects, because a policy instance holds simulator state.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.config import GPUConfig
+from repro.harness.replay_cache import AloneReplayCache, resolve_cache
+from repro.harness.runner import WorkloadResult, run_workload, scaled_config
+from repro.sim.kernel import KernelSpec
+
+#: Policies constructible inside a worker process, by name.  Each factory
+#: takes the resolved :class:`GPUConfig` of the run.
+POLICIES: dict[str, Callable[[GPUConfig], object]] = {}
+
+
+def _register_policies() -> None:
+    # Imported lazily so constructing a WorkloadJob never pulls in the
+    # policy stack; only jobs that actually name a policy pay the import.
+    from repro.policies import DASEFairPolicy
+
+    POLICIES.setdefault("dase_fair", DASEFairPolicy)
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One picklable unit of sweep work: the arguments of ``run_workload``.
+
+    ``apps`` may mix suite names and frozen :class:`KernelSpec` objects —
+    both pickle cleanly.  ``policy`` is a :data:`POLICIES` key or None.
+    """
+
+    apps: tuple[KernelSpec | str, ...]
+    config: GPUConfig | None = None
+    shared_cycles: int | None = None
+    sm_partition: tuple[int, ...] | None = None
+    models: tuple[str, ...] = ("DASE", "MISE", "ASM")
+    policy: str | None = None
+    warmup_intervals: int = 1
+    cache_dir: str | None = None
+
+    @property
+    def key(self) -> str:
+        return "+".join(a if isinstance(a, str) else a.name for a in self.apps)
+
+
+@dataclass
+class JobOutcome:
+    """Result slot for one job, in submission order.
+
+    Exactly one of ``result``/``error`` is set; ``error`` carries the
+    worker-side traceback text so a failed pair diagnoses itself without
+    killing the other 104.
+    """
+
+    index: int
+    job: WorkloadJob
+    result: WorkloadResult | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> WorkloadResult:
+        if self.result is None:
+            raise RuntimeError(
+                f"workload {self.job.key!r} failed:\n{self.error}"
+            )
+        return self.result
+
+
+def execute_job(job: WorkloadJob) -> WorkloadResult:
+    """Run one job in the current process (the worker entry point)."""
+    config = job.config or scaled_config()
+    policy = None
+    if job.policy is not None:
+        _register_policies()
+        try:
+            factory = POLICIES[job.policy]
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {job.policy!r}; choose from {sorted(POLICIES)}"
+            ) from None
+        policy = factory(config)
+    cache: AloneReplayCache | None = (
+        AloneReplayCache(job.cache_dir) if job.cache_dir else None
+    )
+    return run_workload(
+        list(job.apps),
+        config=config,
+        shared_cycles=job.shared_cycles,
+        sm_partition=list(job.sm_partition) if job.sm_partition else None,
+        models=job.models,
+        policy=policy,
+        warmup_intervals=job.warmup_intervals,
+        alone_cache=cache,
+    )
+
+
+def _guarded(indexed_job: tuple[int, WorkloadJob]) -> JobOutcome:
+    """Top-level (picklable) wrapper: never raises, captures tracebacks."""
+    index, job = indexed_job
+    t0 = time.perf_counter()
+    try:
+        result = execute_job(job)
+        return JobOutcome(index, job, result=result,
+                          duration_s=time.perf_counter() - t0)
+    except Exception:
+        return JobOutcome(index, job, error=traceback.format_exc(),
+                          duration_s=time.perf_counter() - t0)
+
+
+def run_jobs(
+    jobs: Sequence[WorkloadJob], n_jobs: int | None = None
+) -> list[JobOutcome]:
+    """Execute ``jobs``, fanning out across ``n_jobs`` worker processes.
+
+    ``n_jobs`` of None/0/1 runs inline (no pool, no pickling) — handy for
+    debugging and for callers that just want the failure-capturing
+    contract.  Outcomes always come back ordered by submission index,
+    regardless of which worker finished first, and a job that raises is
+    returned as a failed :class:`JobOutcome` rather than aborting the rest.
+    """
+    indexed = list(enumerate(jobs))
+    if not indexed:
+        return []
+    workers = min(n_jobs or 1, len(indexed))
+    if workers <= 1:
+        return [_guarded(ij) for ij in indexed]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        outcomes = list(pool.map(_guarded, indexed, chunksize=1))
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes
+
+
+def run_workloads(
+    workloads: Sequence[Sequence[KernelSpec | str]],
+    jobs: int | None = None,
+    config: GPUConfig | None = None,
+    shared_cycles: int | None = None,
+    sm_partition: Sequence[int] | None = None,
+    models: Sequence[str] = ("DASE", "MISE", "ASM"),
+    policy: str | None = None,
+    warmup_intervals: int = 1,
+    cache_dir: str | None = None,
+) -> list[JobOutcome]:
+    """Sweep many workloads under one shared set of run parameters.
+
+    ``cache_dir`` of None falls back to ``$REPRO_CACHE_DIR`` (see
+    :func:`repro.harness.replay_cache.resolve_cache`); pass a path to
+    persist alone replays across invocations.
+    """
+    if cache_dir is not None:
+        AloneReplayCache(cache_dir)  # fail fast on an unusable directory
+    else:
+        resolved = resolve_cache(None)
+        cache_dir = str(resolved.directory) if resolved else None
+    specs = [
+        WorkloadJob(
+            apps=tuple(combo),
+            config=config,
+            shared_cycles=shared_cycles,
+            sm_partition=tuple(sm_partition) if sm_partition else None,
+            models=tuple(models),
+            policy=policy,
+            warmup_intervals=warmup_intervals,
+            cache_dir=cache_dir,
+        )
+        for combo in workloads
+    ]
+    return run_jobs(specs, n_jobs=jobs)

@@ -1,0 +1,180 @@
+"""On-disk cache of matched-instruction alone replays.
+
+The evaluation methodology (:mod:`repro.harness.runner`) replays every
+application *alone on the full GPU* for exactly the instruction count it
+reached in the shared run.  The replay is a pure function of
+
+* the kernel spec (every field of :class:`~repro.sim.kernel.KernelSpec`),
+* the stream identity (``stream_id`` seeds the warp RNGs),
+* the GPU configuration (including ``seed``), and
+* the target instruction count,
+
+so its result — the alone cycle count — can be memoised.  This module
+stores one small JSON file per ``(spec, stream, config, instructions)``
+key under a cache directory, which makes the cache safe under concurrent
+writers (each entry is written atomically via a temp file + rename; two
+workers racing on the same key write identical bytes).
+
+The cache directory defaults to ``$REPRO_CACHE_DIR`` when set; callers
+normally pass an explicit directory (the CLI exposes ``--cache-dir``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.config import GPUConfig
+from repro.harness.persist import atomic_write_json
+from repro.sim.kernel import KernelSpec
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce dataclasses/enums to plain JSON-stable values for hashing."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def fingerprint(obj: Any) -> str:
+    """Stable hex digest of any dataclass/primitive structure."""
+    blob = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def spec_fingerprint(spec: KernelSpec, stream_id: int) -> str:
+    """Fingerprint of one kernel *as replayed*: spec fields + stream seed."""
+    return fingerprint({"spec": _canonical(spec), "stream_id": stream_id})
+
+
+def config_fingerprint(config: GPUConfig) -> str:
+    return fingerprint(config)
+
+
+def default_cache_dir() -> pathlib.Path | None:
+    """The ``REPRO_CACHE_DIR`` directory, or None when caching is off."""
+    d = os.environ.get("REPRO_CACHE_DIR", "")
+    return pathlib.Path(d) if d else None
+
+
+class AloneReplayCache:
+    """Maps (kernel, stream, config, instruction count) → alone cycles.
+
+    Entries live as individual JSON files named by the key digest, plus an
+    in-memory layer so repeated lookups within one process never re-read
+    the disk.  ``hits``/``misses``/``stores`` counters let tests and
+    benchmarks assert on cache behaviour.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"cache directory {self.directory} exists but is not a "
+                "directory"
+            )
+        self._mem: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key(
+        self,
+        spec: KernelSpec,
+        stream_id: int,
+        config: GPUConfig,
+        instructions: int,
+    ) -> str:
+        return fingerprint(
+            {
+                "spec": spec_fingerprint(spec, stream_id),
+                "config": config_fingerprint(config),
+                "instructions": instructions,
+            }
+        )
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(
+        self,
+        spec: KernelSpec,
+        stream_id: int,
+        config: GPUConfig,
+        instructions: int,
+    ) -> int | None:
+        """Cached alone-cycle count for this replay, or None."""
+        key = self.key(spec, stream_id, config, instructions)
+        if key in self._mem:
+            self.hits += 1
+            return self._mem[key]
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        cycles = entry.get("alone_cycles")
+        if not isinstance(cycles, int):
+            self.misses += 1
+            return None
+        self._mem[key] = cycles
+        self.hits += 1
+        return cycles
+
+    def put(
+        self,
+        spec: KernelSpec,
+        stream_id: int,
+        config: GPUConfig,
+        instructions: int,
+        alone_cycles: int,
+    ) -> None:
+        """Record one replay result (atomic; safe under concurrent writers)."""
+        key = self.key(spec, stream_id, config, instructions)
+        self._mem[key] = alone_cycles
+        entry = {
+            "kernel": spec.name,
+            "stream_id": stream_id,
+            "instructions": instructions,
+            "alone_cycles": alone_cycles,
+        }
+        atomic_write_json(self._path(key), entry)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries on disk (not just in memory)."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def resolve_cache(
+    cache: AloneReplayCache | str | os.PathLike | None,
+) -> AloneReplayCache | None:
+    """Coerce a cache argument: an instance, a directory, or None.
+
+    ``None`` falls back to ``$REPRO_CACHE_DIR`` so whole sweeps can be
+    cached without threading a path through every call site.
+    """
+    if isinstance(cache, AloneReplayCache):
+        return cache
+    if cache is not None:
+        return AloneReplayCache(cache)
+    default = default_cache_dir()
+    return AloneReplayCache(default) if default else None

@@ -76,8 +76,21 @@ def render_accuracy(res: AccuracyResult, title: str) -> str:
         [key] + [pct(res.per_workload[key][m]) for m in models]
         for key in res.per_workload
     ]
-    rows.append(["MEAN"] + [pct(res.mean_error(m)) for m in models])
-    return f"{title}:\n" + table(["workload"] + models, rows)
+    rows.append(
+        ["MEAN"]
+        + [pct(res.mean_error(m)) if res.errors[m] else "-" for m in models]
+    )
+    out = f"{title}:\n" + table(["workload"] + models, rows)
+    samples = "  ".join(f"{m}: n={res.sample_count(m)}" for m in models)
+    out += f"\nsamples pooled per model — {samples}"
+    skipped = {m: n for m, n in res.skipped.items() if n}
+    if skipped:
+        out += "\nskipped (no estimate): " + "  ".join(
+            f"{m}: {n}" for m, n in skipped.items()
+        )
+    if res.failures:
+        out += "\nFAILED workloads: " + ", ".join(sorted(res.failures))
+    return out
 
 
 def render_distribution(dists: dict[str, dict[str, float]]) -> str:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import GPUConfig
 from repro.core import ASM, DASE, MISE, PriorityRotator, SlowdownEstimator
@@ -27,6 +27,10 @@ from repro.metrics import estimation_error, harmonic_speedup, unfairness
 from repro.sim.gpu import GPU, LaunchedKernel
 from repro.sim.kernel import KernelSpec
 from repro.workloads import SUITE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay_cache
+    # imports persist, which is a sibling; only the annotation needs it)
+    from repro.harness.replay_cache import AloneReplayCache
 
 
 def full_scale() -> bool:
@@ -75,18 +79,61 @@ class WorkloadResult:
         return harmonic_speedup(self.actual_slowdowns)
 
     def errors(self, model: str) -> list[float]:
-        """Per-app |estimate − actual| / actual for one model (skips Nones)."""
+        """Per-app |estimate − actual| / actual for one model.
+
+        Apps whose estimate is ``None`` (the model produced nothing for
+        them) are skipped here; :meth:`skipped` reports how many, so
+        aggregation over workloads can state the true sample count
+        instead of quietly averaging over fewer apps than it claims.
+        """
         out = []
         for est, act in zip(self.estimates[model], self.actual_slowdowns):
             if est is not None:
                 out.append(estimation_error(est, act))
         return out
 
+    def skipped(self, model: str) -> int:
+        """Number of apps with no estimate (``None``) from ``model``."""
+        return sum(1 for est in self.estimates[model] if est is None)
+
+    @property
+    def skipped_counts(self) -> dict[str, int]:
+        """Per-model count of apps that produced no estimate."""
+        return {m: self.skipped(m) for m in self.estimates}
+
     def mean_error(self, model: str) -> float:
         errs = self.errors(model)
         if not errs:
             raise ValueError(f"model {model!r} produced no estimates")
         return sum(errs) / len(errs)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-safe dict at full float precision (cache round trip)."""
+        return {
+            "names": list(self.names),
+            "sm_partition": list(self.sm_partition),
+            "shared_cycles": self.shared_cycles,
+            "instructions": list(self.instructions),
+            "alone_cycles": list(self.alone_cycles),
+            "actual_slowdowns": list(self.actual_slowdowns),
+            "estimates": {m: list(v) for m, v in self.estimates.items()},
+            "bandwidth": dict(self.bandwidth),
+            "final_sm_partition": list(self.final_sm_partition),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadResult":
+        return cls(
+            names=list(d["names"]),
+            sm_partition=list(d["sm_partition"]),
+            shared_cycles=d["shared_cycles"],
+            instructions=list(d["instructions"]),
+            alone_cycles=list(d["alone_cycles"]),
+            actual_slowdowns=list(d["actual_slowdowns"]),
+            estimates={m: list(v) for m, v in d["estimates"].items()},
+            bandwidth=dict(d.get("bandwidth", {})),
+            final_sm_partition=list(d.get("final_sm_partition", [])),
+        )
 
 
 def _resolve(spec_or_name: KernelSpec | str) -> tuple[str, KernelSpec]:
@@ -103,13 +150,16 @@ def run_workload(
     models: Sequence[str] = ("DASE", "MISE", "ASM"),
     policy=None,
     warmup_intervals: int = 1,
+    alone_cache: "AloneReplayCache | None" = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
     ``models`` selects which estimators to attach ("DASE", "MISE", "ASM").
     ``policy`` optionally attaches an SM-allocation policy (e.g.
     :class:`~repro.policies.DASEFairPolicy`); it may reassign SMs during
-    the shared run.
+    the shared run.  ``alone_cache`` memoises the alone replays (step 3):
+    the replay is deterministic in (spec, stream, config, instruction
+    count), so a cached cycle count is bit-identical to re-simulating.
     """
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
@@ -144,11 +194,21 @@ def run_workload(
     # Alone replays: full GPU, same stream identity, same instruction count.
     alone_cycles: list[int] = []
     for i, spec in enumerate(specs):
+        cached = (
+            alone_cache.get(spec, i, config, instructions[i])
+            if alone_cache is not None
+            else None
+        )
+        if cached is not None:
+            alone_cycles.append(cached)
+            continue
         alone = GPU(config, [LaunchedKernel(spec, restart=True, stream_id=i)])
         alone.run_until_instructions(
             0, instructions[i], max_cycles=max(4 * shared_cycles, 1_000_000)
         )
         alone_cycles.append(alone.engine.now)
+        if alone_cache is not None:
+            alone_cache.put(spec, i, config, instructions[i], alone.engine.now)
 
     actual = [shared_cycles / c for c in alone_cycles]
     estimates = {

@@ -33,6 +33,17 @@ def test_fig_parsers_accept_limit():
     assert args.experiment == "fig5"
 
 
+def test_fig_parsers_accept_jobs_and_cache_dir():
+    args = build_parser().parse_args(
+        ["fig5", "--limit", "2", "--jobs", "4", "--cache-dir", "/tmp/c"]
+    )
+    assert args.jobs == 4
+    assert args.cache_dir == "/tmp/c"
+    # default: inline execution, cache from $REPRO_CACHE_DIR only
+    args = build_parser().parse_args(["fig9"])
+    assert args.jobs is None and args.cache_dir is None
+
+
 @pytest.mark.slow
 def test_run_workload_end_to_end(capsys):
     rc = main(["run", "QR", "CT", "--cycles", "30000", "--models", "DASE"])

@@ -1,0 +1,84 @@
+"""The determinism contract behind parallel + cached execution.
+
+Identical ``(workload, config, seed)`` inputs must produce identical
+:class:`WorkloadResult` objects whether the run happens inline, in a
+worker process, or is reconstructed through the on-disk caches.  Without
+this, a warm-cache or pooled sweep could silently diverge from the serial
+seed path.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import (
+    AloneReplayCache,
+    WorkloadJob,
+    run_jobs,
+    run_workload,
+    scaled_config,
+)
+from repro.harness.persist import atomic_write_json, load_json
+from repro.harness.runner import WorkloadResult
+
+CFG = scaled_config()
+CYCLES = 40_000
+APPS = ("QR", "CT")
+MODELS = ("DASE", "MISE", "ASM")
+
+
+def assert_results_identical(a: WorkloadResult, b: WorkloadResult) -> None:
+    """Field-by-field exact equality (no tolerances: the sim is bit-exact)."""
+    for f in dataclasses.fields(WorkloadResult):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        assert va == vb, f"field {f.name!r} differs: {va!r} != {vb!r}"
+
+
+@pytest.fixture(scope="module")
+def inline_result():
+    return run_workload(APPS, config=CFG, shared_cycles=CYCLES, models=MODELS)
+
+
+@pytest.mark.slow
+class TestDeterminism:
+    def test_inline_rerun_identical(self, inline_result):
+        again = run_workload(APPS, config=CFG, shared_cycles=CYCLES,
+                             models=MODELS)
+        assert_results_identical(inline_result, again)
+
+    def test_process_pool_identical(self, inline_result):
+        job = WorkloadJob(apps=APPS, config=CFG, shared_cycles=CYCLES,
+                          models=MODELS)
+        outcomes = run_jobs([job, job], n_jobs=2)
+        for outcome in outcomes:
+            assert_results_identical(inline_result, outcome.unwrap())
+
+    def test_alone_cache_roundtrip_identical(self, inline_result, tmp_path):
+        cold_cache = AloneReplayCache(tmp_path)
+        cold = run_workload(APPS, config=CFG, shared_cycles=CYCLES,
+                            models=MODELS, alone_cache=cold_cache)
+        assert cold_cache.stores == len(APPS)
+        assert_results_identical(inline_result, cold)
+
+        warm_cache = AloneReplayCache(tmp_path)
+        warm = run_workload(APPS, config=CFG, shared_cycles=CYCLES,
+                            models=MODELS, alone_cache=warm_cache)
+        assert warm_cache.hits == len(APPS)  # replays came from disk
+        assert warm_cache.stores == 0
+        assert_results_identical(inline_result, warm)
+
+    def test_serialization_roundtrip_identical(self, inline_result, tmp_path):
+        path = atomic_write_json(tmp_path / "result.json",
+                                 inline_result.to_dict())
+        restored = WorkloadResult.from_dict(load_json(path))
+        assert_results_identical(inline_result, restored)
+
+    def test_pool_and_cache_compose(self, inline_result, tmp_path):
+        """Pooled run on a warm cache still equals the inline seed run."""
+        seed_cache = AloneReplayCache(tmp_path)
+        run_workload(APPS, config=CFG, shared_cycles=CYCLES, models=MODELS,
+                     alone_cache=seed_cache)
+        job = WorkloadJob(apps=APPS, config=CFG, shared_cycles=CYCLES,
+                          models=MODELS, cache_dir=str(tmp_path))
+        (outcome,) = run_jobs([job], n_jobs=2)
+        assert_results_identical(inline_result, outcome.unwrap())

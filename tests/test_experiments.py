@@ -67,6 +67,33 @@ class TestDrivers:
         assert "QR+CT" in res.per_workload
         assert res.mean_error("DASE") < 0.3
         assert len(res.results) == 1
+        # sample accounting: pooled errors + skipped apps = apps swept
+        assert res.sample_count("DASE") + res.skipped["DASE"] == 2
+        assert res.failures == {}
+
+    def test_accuracy_driver_captures_failures(self):
+        res = estimation_accuracy(
+            [("QR", "NOPE"), ("QR", "CT")], config=CFG,
+            shared_cycles=SMALL, models=("DASE",),
+        )
+        assert "QR+NOPE" in res.failures
+        assert "KeyError" in res.failures["QR+NOPE"]
+        # the healthy workload still produced numbers
+        assert "QR+CT" in res.per_workload
+        assert len(res.results) == 1
+
+    def test_accuracy_driver_parallel_matches_serial(self, tmp_path):
+        serial = estimation_accuracy(
+            [("QR", "CT"), ("NN", "VA")], config=CFG,
+            shared_cycles=SMALL, models=("DASE",),
+        )
+        parallel = estimation_accuracy(
+            [("QR", "CT"), ("NN", "VA")], config=CFG,
+            shared_cycles=SMALL, models=("DASE",),
+            jobs=2, cache_dir=str(tmp_path),
+        )
+        assert parallel.per_workload == serial.per_workload
+        assert parallel.errors == serial.errors
 
     def test_fig7_distribution_shape(self):
         res = estimation_accuracy(

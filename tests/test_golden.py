@@ -1,0 +1,94 @@
+"""Golden regression fixtures for three representative two-app workloads.
+
+The simulator is deterministic, so small-scale expected values can be
+checked in and compared exactly: any drift in the memory system, the SM
+model, or the matched-instruction methodology shows up here as a failure
+rather than silently shifting every figure.
+
+Regenerate after an *intentional* model change with:
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+
+then review the diff of ``tests/golden/golden_pairs.json`` in the PR.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.harness import run_workload, scaled_config
+from repro.harness.replay_cache import config_fingerprint
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_pairs.json"
+
+#: A memory-victim pair, a balanced pair, and a cache-sensitive pair.
+PAIRS = [("SD", "SB"), ("NN", "VA"), ("CS", "SC")]
+SHARED_CYCLES = 40_000
+
+
+def _config():
+    return scaled_config()
+
+
+def _measure(pair):
+    res = run_workload(list(pair), config=_config(),
+                       shared_cycles=SHARED_CYCLES, models=())
+    return {
+        "instructions": res.instructions,
+        "alone_cycles": res.alone_cycles,
+        "slowdowns": res.actual_slowdowns,
+        "unfairness": res.actual_unfairness,
+        "hspeedup": res.actual_hspeedup,
+    }
+
+
+def regenerate() -> None:
+    payload = {
+        "shared_cycles": SHARED_CYCLES,
+        "config_fingerprint": config_fingerprint(_config()),
+        "pairs": {"+".join(p): _measure(p) for p in PAIRS},
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def test_golden_config_unchanged(golden):
+    """The fixture documents which config it was measured under."""
+    assert golden["config_fingerprint"] == config_fingerprint(_config()), (
+        "default scaled config changed — regenerate the golden file and "
+        "review the numeric diff"
+    )
+    assert golden["shared_cycles"] == SHARED_CYCLES
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("pair", PAIRS, ids="+".join)
+def test_golden_pair(golden, pair):
+    expected = golden["pairs"]["+".join(pair)]
+    got = _measure(pair)
+    # Integer outputs must match exactly; floats to within accumulated
+    # rounding noise (the sim itself is bit-deterministic — the tolerance
+    # only guards against libm differences across platforms).
+    assert got["instructions"] == expected["instructions"]
+    assert got["alone_cycles"] == expected["alone_cycles"]
+    for k in ("slowdowns",):
+        assert got[k] == pytest.approx(expected[k], rel=1e-9)
+    for k in ("unfairness", "hspeedup"):
+        assert got[k] == pytest.approx(expected[k], rel=1e-9)
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -98,6 +98,44 @@ class TestHarnessOptions:
             res.mean_error("DASE")
 
 
+class TestSkippedEstimates:
+    """None estimates must be counted, not silently averaged away."""
+
+    @staticmethod
+    def _result(estimates):
+        return WorkloadResult(
+            names=["A", "B"], sm_partition=[8, 8], shared_cycles=1000,
+            instructions=[10, 10], alone_cycles=[500, 500],
+            actual_slowdowns=[2.0, 2.0], estimates=estimates,
+        )
+
+    def test_skipped_counts_nones(self):
+        res = self._result({"DASE": [2.0, None], "MISE": [None, None]})
+        assert res.skipped("DASE") == 1
+        assert res.skipped("MISE") == 2
+        assert res.skipped_counts == {"DASE": 1, "MISE": 2}
+
+    def test_no_skips(self):
+        res = self._result({"DASE": [2.0, 2.0]})
+        assert res.skipped("DASE") == 0
+        assert len(res.errors("DASE")) == 2
+
+    def test_errors_length_plus_skipped_is_app_count(self):
+        res = self._result({"DASE": [2.2, None]})
+        assert len(res.errors("DASE")) + res.skipped("DASE") == 2
+
+    def test_all_skipped_mean_error_raises(self):
+        res = self._result({"DASE": [None, None]})
+        with pytest.raises(ValueError, match="no estimates"):
+            res.mean_error("DASE")
+
+    def test_roundtrip_preserves_nones(self):
+        res = self._result({"DASE": [2.0, None]})
+        back = WorkloadResult.from_dict(res.to_dict())
+        assert back.estimates["DASE"] == [2.0, None]
+        assert back.skipped("DASE") == 1
+
+
 class TestScaledConfig:
     def test_scaled_interval(self, monkeypatch):
         monkeypatch.delenv("REPRO_FULL", raising=False)

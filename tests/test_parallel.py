@@ -1,0 +1,158 @@
+"""Tests for the process-pool sweep runner and the alone-replay cache."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.harness import scaled_config
+from repro.harness.parallel import (
+    WorkloadJob,
+    execute_job,
+    run_jobs,
+    run_workloads,
+)
+from repro.harness.replay_cache import (
+    AloneReplayCache,
+    config_fingerprint,
+    resolve_cache,
+    spec_fingerprint,
+)
+from repro.workloads import SUITE
+
+CFG = scaled_config()
+SMALL = 30_000
+
+
+class TestFingerprints:
+    def test_spec_fingerprint_stable(self):
+        a = spec_fingerprint(SUITE["QR"], 0)
+        assert a == spec_fingerprint(SUITE["QR"], 0)
+
+    def test_spec_fingerprint_depends_on_stream(self):
+        assert spec_fingerprint(SUITE["QR"], 0) != spec_fingerprint(SUITE["QR"], 1)
+
+    def test_spec_fingerprint_depends_on_spec(self):
+        assert spec_fingerprint(SUITE["QR"], 0) != spec_fingerprint(SUITE["CT"], 0)
+
+    def test_config_fingerprint_depends_on_fields(self):
+        assert config_fingerprint(GPUConfig()) != config_fingerprint(
+            GPUConfig(n_sms=8)
+        )
+        assert config_fingerprint(GPUConfig()) != config_fingerprint(
+            GPUConfig(seed=999)
+        )
+
+    def test_config_fingerprint_stable(self):
+        assert config_fingerprint(GPUConfig()) == config_fingerprint(GPUConfig())
+
+
+class TestAloneReplayCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = AloneReplayCache(tmp_path)
+        spec = SUITE["QR"]
+        assert cache.get(spec, 0, CFG, 1000) is None
+        cache.put(spec, 0, CFG, 1000, 777)
+        assert cache.get(spec, 0, CFG, 1000) == 777
+        assert cache.misses == 1 and cache.hits == 1 and cache.stores == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        AloneReplayCache(tmp_path).put(SUITE["QR"], 0, CFG, 1000, 777)
+        fresh = AloneReplayCache(tmp_path)
+        assert fresh.get(SUITE["QR"], 0, CFG, 1000) == 777
+        assert len(fresh) == 1
+
+    def test_key_separates_instruction_counts(self, tmp_path):
+        cache = AloneReplayCache(tmp_path)
+        cache.put(SUITE["QR"], 0, CFG, 1000, 111)
+        cache.put(SUITE["QR"], 0, CFG, 2000, 222)
+        assert cache.get(SUITE["QR"], 0, CFG, 1000) == 111
+        assert cache.get(SUITE["QR"], 0, CFG, 2000) == 222
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = AloneReplayCache(tmp_path)
+        key = cache.key(SUITE["QR"], 0, CFG, 1000)
+        (tmp_path / f"{key}.json").write_text("not json {")
+        assert cache.get(SUITE["QR"], 0, CFG, 1000) is None
+
+    def test_rejects_non_directory(self, tmp_path):
+        f = tmp_path / "afile"
+        f.write_text("x")
+        with pytest.raises(ValueError, match="not a directory"):
+            AloneReplayCache(f)
+        with pytest.raises(ValueError, match="not a directory"):
+            run_workloads([("QR", "CT")], cache_dir=str(f))
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(tmp_path).directory == tmp_path
+        inst = AloneReplayCache(tmp_path)
+        assert resolve_cache(inst) is inst
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache(None).directory == tmp_path / "env"
+
+
+class TestJobExecution:
+    def test_inline_matches_pool_ordering(self):
+        jobs = [
+            WorkloadJob(apps=("QR", "CT"), config=CFG,
+                        shared_cycles=SMALL, models=()),
+            WorkloadJob(apps=("NN", "VA"), config=CFG,
+                        shared_cycles=SMALL, models=()),
+        ]
+        outcomes = run_jobs(jobs, n_jobs=1)
+        assert [o.index for o in outcomes] == [0, 1]
+        assert outcomes[0].unwrap().names == ["QR", "CT"]
+        assert outcomes[1].unwrap().names == ["NN", "VA"]
+
+    def test_failure_captured_not_raised(self):
+        jobs = [
+            WorkloadJob(apps=("QR", "NOPE"), config=CFG, shared_cycles=SMALL),
+            WorkloadJob(apps=("QR", "CT"), config=CFG,
+                        shared_cycles=SMALL, models=()),
+        ]
+        outcomes = run_jobs(jobs, n_jobs=1)
+        assert not outcomes[0].ok and "NOPE" in outcomes[0].error
+        assert outcomes[1].ok  # the sweep continued past the failure
+        with pytest.raises(RuntimeError, match="QR\\+NOPE"):
+            outcomes[0].unwrap()
+
+    def test_unknown_policy_rejected(self):
+        job = WorkloadJob(apps=("QR", "CT"), config=CFG,
+                          shared_cycles=SMALL, models=(), policy="bogus")
+        with pytest.raises(ValueError, match="unknown policy"):
+            execute_job(job)
+
+    def test_run_workloads_uses_cache_dir(self, tmp_path):
+        out1 = run_workloads(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL,
+            models=(), cache_dir=str(tmp_path),
+        )
+        assert out1[0].ok
+        assert len(AloneReplayCache(tmp_path)) == 2  # one entry per app
+
+    def test_empty_job_list(self):
+        assert run_jobs([], n_jobs=4) == []
+
+    def test_job_key(self):
+        job = WorkloadJob(apps=("QR", SUITE["CT"]))
+        assert job.key == "QR+CT"
+
+
+@pytest.mark.slow
+class TestProcessPool:
+    def test_pool_failure_capture_and_order(self, tmp_path):
+        jobs = [
+            WorkloadJob(apps=("QR", "CT"), config=CFG,
+                        shared_cycles=SMALL, models=(),
+                        cache_dir=str(tmp_path)),
+            WorkloadJob(apps=("QR", "NOPE"), config=CFG, shared_cycles=SMALL),
+            WorkloadJob(apps=("NN", "VA"), config=CFG,
+                        shared_cycles=SMALL, models=(),
+                        cache_dir=str(tmp_path)),
+        ]
+        outcomes = run_jobs(jobs, n_jobs=2)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert outcomes[0].ok and outcomes[2].ok and not outcomes[1].ok
+        assert "KeyError" in outcomes[1].error
+        # workers shared the on-disk cache directory
+        assert len(AloneReplayCache(tmp_path)) == 4
