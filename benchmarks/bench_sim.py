@@ -1,0 +1,217 @@
+"""Per-component simulator microbenchmarks → ``BENCH_sim.json``.
+
+Measures the three hot paths the PR-2 optimisation targeted (event-engine
+dispatch, SM burst loop, DRAM controller dispatch) plus the end-to-end
+pair workload, and writes a machine-readable artifact so the performance
+trajectory is tracked across PRs.
+
+Every benchmark is also recorded *normalized* to a fixed pure-Python
+calibration loop measured in the same process: absolute seconds differ
+wildly between laptops and CI runners, but the ratio benchmark/calibration
+is roughly machine-independent for interpreter-bound code, so the
+committed baseline (``benchmarks/BENCH_baseline.json``) can gate
+regressions on shared runners.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --out BENCH_sim.json
+    PYTHONPATH=src python benchmarks/bench_sim.py \
+        --out BENCH_sim.json --check benchmarks/BENCH_baseline.json
+
+Regenerate the baseline after an intentional perf-relevant change with
+``--out benchmarks/BENCH_baseline.json`` on a quiet machine and commit the
+diff (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+# --------------------------------------------------------------- components
+
+
+def engine_dispatch_sparse() -> int:
+    """Event dispatch, one event per cycle (heap-dominated)."""
+    from repro.sim.engine import Engine
+
+    eng = Engine()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < 20_000:
+            eng.schedule(1, tick)
+
+    eng.schedule(0, tick)
+    eng.run()
+    return count
+
+
+def engine_dispatch_burst() -> int:
+    """Event dispatch, ~10 events per cycle (bucket-FIFO-dominated) —
+    the shape real simulated workloads produce."""
+    from repro.sim.engine import Engine
+
+    eng = Engine()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < 20_000:
+            eng.schedule(1 + (count % 10 == 0), tick)
+
+    for _ in range(10):
+        eng.schedule(0, tick)
+    eng.run()
+    return count
+
+
+def sm_burst_loop() -> int:
+    """Compute-bound single app: SM virtual-time/burst machinery dominates."""
+    from repro import GPU
+    from repro.harness import scaled_config
+    from repro.workloads import SUITE
+
+    gpu = GPU(scaled_config(), [SUITE["QR"]])
+    gpu.run(30_000)
+    return gpu.engine.now
+
+
+def dram_dispatch() -> int:
+    """Bandwidth-saturated single app: DRAM controller dominates."""
+    from repro import GPU
+    from repro.harness import scaled_config
+    from repro.workloads import SUITE
+
+    gpu = GPU(scaled_config(), [SUITE["SD"]])
+    gpu.run(30_000)
+    return gpu.engine.now
+
+
+def pair_workload() -> int:
+    """The acceptance workload: SD+SB shared run (DRAM-saturated pair)."""
+    from repro import GPU
+    from repro.harness import scaled_config
+    from repro.workloads import SUITE
+
+    gpu = GPU(scaled_config(), [SUITE["SD"], SUITE["SB"]])
+    gpu.run(30_000)
+    return gpu.engine.now
+
+
+BENCHES = {
+    "engine_dispatch_sparse": engine_dispatch_sparse,
+    "engine_dispatch_burst": engine_dispatch_burst,
+    "sm_burst_loop": sm_burst_loop,
+    "dram_dispatch": dram_dispatch,
+    "pair_workload": pair_workload,
+}
+
+
+def calibrate() -> float:
+    """Fixed interpreter-bound spin; the normalization denominator."""
+
+    def spin() -> int:
+        x = 0
+        for i in range(2_000_000):
+            x = (x + i) & 0xFFFFFFFF
+        return x
+
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        spin()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def time_best_of(fn, reps: int = 5) -> float:
+    """Best-of-``reps`` wall time — robust to scheduler noise."""
+    fn()  # warm imports, caches, pyc
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(reps: int = 5) -> dict:
+    cal = calibrate()
+    benches = {}
+    for name, fn in BENCHES.items():
+        seconds = time_best_of(fn, reps)
+        benches[name] = {
+            "seconds": seconds,
+            "normalized": seconds / cal,
+        }
+        print(f"  {name:24s} {seconds * 1e3:8.1f} ms "
+              f"(x{seconds / cal:.2f} of calibration)", file=sys.stderr)
+    return {
+        "schema": 1,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "calibration_seconds": cal,
+        "benches": benches,
+    }
+
+
+def check(result: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Normalized-time regressions beyond ``tolerance`` vs the baseline."""
+    failures = []
+    for name, base in baseline.get("benches", {}).items():
+        got = result["benches"].get(name)
+        if got is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        limit = base["normalized"] * (1.0 + tolerance)
+        if got["normalized"] > limit:
+            failures.append(
+                f"{name}: normalized {got['normalized']:.2f} exceeds "
+                f"baseline {base['normalized']:.2f} by more than "
+                f"{tolerance:.0%}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", default="BENCH_sim.json",
+                   help="artifact path (default: BENCH_sim.json)")
+    p.add_argument("--reps", type=int, default=5,
+                   help="repetitions per benchmark (best-of)")
+    p.add_argument("--check", default=None, metavar="BASELINE",
+                   help="fail on regression vs this committed baseline")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed normalized-time regression (default 0.30)")
+    args = p.parse_args(argv)
+
+    result = measure(reps=args.reps)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check(result, baseline, args.tolerance)
+        if failures:
+            print("perf regression detected:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

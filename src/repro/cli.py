@@ -112,7 +112,11 @@ def _cmd_run(args) -> int:
         if a not in APP_NAMES:
             raise SystemExit(f"unknown app {a!r}; choose from {APP_NAMES}")
     models = tuple(args.models.split(",")) if args.models else ()
-    res = run_workload(args.apps, shared_cycles=args.cycles, models=models)
+    res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
+                       profile_path=args.profile)
+    if args.profile:
+        print(f"profile written to {args.profile} "
+              f"(inspect: python -m pstats {args.profile})", file=sys.stderr)
     rows = []
     for i, name in enumerate(res.names):
         row = [name, res.sm_partition[i], f"{res.actual_slowdowns[i]:.2f}"]
@@ -164,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--cycles", type=int, default=None)
     rn.add_argument("--models", default="DASE,MISE,ASM",
                     help="comma-separated estimators (empty for none)")
+    rn.add_argument("--profile", default=None, metavar="PATH",
+                    help="dump cProfile stats for the run to PATH "
+                         "(see docs/performance.md)")
     rn.set_defaults(func=_cmd_run)
 
     sm = sub.add_parser(

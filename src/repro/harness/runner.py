@@ -151,6 +151,7 @@ def run_workload(
     policy=None,
     warmup_intervals: int = 1,
     alone_cache: "AloneReplayCache | None" = None,
+    profile_path: str | None = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
@@ -160,7 +161,40 @@ def run_workload(
     the shared run.  ``alone_cache`` memoises the alone replays (step 3):
     the replay is deterministic in (spec, stream, config, instruction
     count), so a cached cycle count is bit-identical to re-simulating.
+
+    ``profile_path`` profiles the whole methodology (shared run + alone
+    replays) under :mod:`cProfile` and dumps binary pstats data there —
+    load it with ``python -m pstats`` or snakeviz; see docs/performance.md.
     """
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run_workload(
+                apps, config, shared_cycles, sm_partition, models,
+                policy, warmup_intervals, alone_cache,
+            )
+        finally:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+    return _run_workload(
+        apps, config, shared_cycles, sm_partition, models,
+        policy, warmup_intervals, alone_cache,
+    )
+
+
+def _run_workload(
+    apps: Sequence[KernelSpec | str],
+    config: GPUConfig | None,
+    shared_cycles: int | None,
+    sm_partition: Sequence[int] | None,
+    models: Sequence[str],
+    policy,
+    warmup_intervals: int,
+    alone_cache: "AloneReplayCache | None",
+) -> WorkloadResult:
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
     names, specs = zip(*(_resolve(a) for a in apps))

@@ -20,9 +20,14 @@ from dataclasses import dataclass
 from repro.config import GPUConfig
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class DecodedAddress:
-    """All the coordinates the memory system needs for one access."""
+    """All the coordinates the memory system needs for one access.
+
+    Slotted (not frozen): one of these is built per memory access, and a
+    frozen dataclass pays an ``object.__setattr__`` per field in ``__init__``
+    — measurably slow on the hot path.  Treat instances as immutable.
+    """
 
     line: int  # global cache-line number
     partition: int  # which memory partition / L2 slice
@@ -69,18 +74,20 @@ class AddressMapper:
         if addr < 0:
             raise ValueError("addresses are non-negative")
         line = addr >> self._line_shift
-        granule = line >> self._ilv_shift
-        partition = granule % self._n_partitions
-        local = (granule // self._n_partitions) << self._ilv_shift | (
-            line & self._ilv_mask
-        )
-        cache_set = local & self._set_mask
-        tag = local >> self._set_shift
-        bank = (local // self._lines_per_row) % self._n_banks
-        row = local // (self._lines_per_row * self._n_banks)
+        ilv_shift = self._ilv_shift
+        n_partitions = self._n_partitions
+        lines_per_row = self._lines_per_row
+        n_banks = self._n_banks
+        granule = line >> ilv_shift
+        local = (granule // n_partitions) << ilv_shift | (line & self._ilv_mask)
         return DecodedAddress(
-            line=line, partition=partition, local_line=local,
-            cache_set=cache_set, tag=tag, bank=bank, row=row,
+            line,
+            granule % n_partitions,
+            local,
+            local & self._set_mask,
+            local >> self._set_shift,
+            (local // lines_per_row) % n_banks,
+            local // (lines_per_row * n_banks),
         )
 
     def encode(self, partition: int, local_line: int) -> int:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-application access counters for one cache slice."""
 
@@ -38,10 +38,11 @@ class SetAssocCache:
     contention accounting.
     """
 
-    __slots__ = ("config", "_sets", "stats")
+    __slots__ = ("config", "_sets", "_assoc", "stats")
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        self._assoc = config.assoc
         self._sets: list[OrderedDict[int, int]] = [
             OrderedDict() for _ in range(config.n_sets)
         ]
@@ -62,13 +63,16 @@ class SetAssocCache:
         bandwidth slightly.
         """
         s = self._sets[cache_set]
+        st = self.stats.get(app)
+        if st is None:
+            st = self.stats[app] = CacheStats()
         if tag in s:
             s.move_to_end(tag)
             s[tag] = app
-            self._stats_for(app).hits += 1
+            st.hits += 1
             return True
-        self._stats_for(app).misses += 1
-        if len(s) >= self.config.assoc:
+        st.misses += 1
+        if len(s) >= self._assoc:
             s.popitem(last=False)  # evict LRU
         s[tag] = app
         return False

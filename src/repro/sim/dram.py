@@ -29,7 +29,7 @@ from typing import Callable
 from repro.config import GPUConfig
 from repro.sim.address import DecodedAddress
 from repro.sim.atd import AuxTagDirectory
-from repro.sim.cache import SetAssocCache
+from repro.sim.cache import CacheStats, SetAssocCache
 from repro.sim.engine import Engine
 from repro.sim.stats import MemoryStats
 
@@ -94,6 +94,8 @@ class MemoryPartition:
         self._rr_next = 0
 
         self._seq = 0
+        self._queued_total = 0  # running Σ len(bank_queues): O(1) telemetry
+        self._req_pool: list[DramRequest] = []  # DramRequest free-list
         # Controller issue-slot management (mc_issue_gap).
         self.next_issue_at = 0
         self._pending_banks: set[int] = set()
@@ -102,6 +104,10 @@ class MemoryPartition:
         self._busy_active = 0
         self._busy_last = 0
         self.busy_time = 0
+        # Pre-resolve hot-path config scalars (attribute-chase removal).
+        self._l2_latency = config.l2_latency
+        self._issue_gap = config.mc_issue_gap
+        self._rr_mode = config.mc_scheduler == "rr"
         # Pre-convert timings to core cycles.
         d = config.dram
         self._t_hit = config.dram_cycles_to_core(d.tCL)
@@ -110,6 +116,12 @@ class MemoryPartition:
         self._t_faw = config.dram_cycles_to_core(d.tFAW)
         # Timestamps of the last four row activations (tFAW enforcement).
         self._activates: list[int] = []
+        # Cached bound methods: attribute lookup on ``self`` allocates a
+        # fresh bound-method object per call; these run ~100k times/run.
+        self._schedule = engine.schedule
+        self._arrive_cb = self._arrive
+        self._complete_cb = self._complete
+        self._issue_cb = self._issue_event
 
     # ------------------------------------------------------------------ L2
 
@@ -122,21 +134,59 @@ class MemoryPartition:
         the partition (the caller adds return-network latency).
         """
         now = self.engine.now
-        mem = self.stats.apps[app]
-        hit = self.l2.access(addr.cache_set, addr.tag, app)
-        self.atds[app].observe(addr.cache_set, addr.tag, hit)
+        stats = self.stats
+        mem = stats.apps[app]
+        cache_set = addr.cache_set
+        tag = addr.tag
+        # Inlined SetAssocCache.access (L2 probe/fill): this is the hottest
+        # memory-path function and the call layer is measurable.
+        l2 = self.l2
+        s = l2._sets[cache_set]
+        cstats = l2.stats
+        st = cstats.get(app)
+        if st is None:
+            st = cstats[app] = CacheStats()
+        if tag in s:
+            s.move_to_end(tag)
+            s[tag] = app
+            st.hits += 1
+            hit = True
+        else:
+            st.misses += 1
+            if len(s) >= l2._assoc:
+                s.popitem(last=False)
+            s[tag] = app
+            hit = False
+        atd = self.atds[app]
+        if cache_set in atd._sampled:  # most sets are unsampled: skip call
+            atd.observe(cache_set, tag, hit)
+        l2_latency = self._l2_latency
         if hit:
             mem.l2_hits += 1
-            done = now + self.config.l2_latency
-            self.engine.at(done, lambda: callback(done))
+            self._schedule(l2_latency, callback, now + l2_latency)
             return
         mem.l2_misses += 1
         self._seq += 1
-        req = DramRequest(app, addr, now + self.config.l2_latency, callback, self._seq)
-        self.stats.advance(now)
-        self.stats.request_enqueued(app)
-        self._demand_bank(app, addr.bank, +1)
-        self.engine.at(req.arrival, lambda: self._arrive(req))
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.app = app
+            req.addr = addr
+            req.arrival = now + l2_latency
+            req.callback = callback
+            req.seq = self._seq
+        else:
+            req = DramRequest(app, addr, now + l2_latency, callback, self._seq)
+        if stats._last_t < now:
+            stats.advance(now)
+        stats._outstanding[app] += 1  # request_enqueued, inlined
+        bank = addr.bank  # _demand_bank(app, bank, +1), inlined
+        d = self._bank_demand[app]
+        v = d[bank]
+        if v == 0:
+            stats._demanded[app] += 1
+        d[bank] = v + 1
+        self._schedule(l2_latency, self._arrive_cb, req)
 
     # ----------------------------------------------------------------- DRAM
 
@@ -154,27 +204,38 @@ class MemoryPartition:
         bank = req.addr.bank
         self.bank_queues[bank].append(req)
         self._queued_per_app[bank][req.app] += 1
+        self._queued_total += 1
         if not self.bank_busy[bank]:
-            self._pending_banks.add(bank)
+            pending = self._pending_banks
+            if not pending:
+                # Fast path: the arbiter's pending set would hold only this
+                # bank, so _try_issue's choose-discard round is a no-op.
+                now = self.engine.now
+                if now >= self.next_issue_at:
+                    self.next_issue_at = now + self._issue_gap
+                    self._dispatch_bank(bank)
+                    return
+            pending.add(bank)
             self._try_issue()
 
     def _try_issue(self) -> None:
         """Issue requests to free banks, one per ``mc_issue_gap`` cycles."""
         now = self.engine.now
-        while self._pending_banks:
+        pending = self._pending_banks
+        while pending:
             if now < self.next_issue_at:
                 t = self.next_issue_at
                 if self._issue_event_at != t:
                     # Supersedes any stale scheduled wake-up: the token makes
                     # old events no-ops instead of letting them re-arm.
                     self._issue_event_at = t
-                    self.engine.at(t, lambda: self._issue_event(t))
+                    self._schedule(t - now, self._issue_cb, t)
                 return
             bank = self._choose_bank()
             if bank is None:
                 return
-            self._pending_banks.discard(bank)
-            self.next_issue_at = now + self.config.mc_issue_gap
+            pending.discard(bank)
+            self.next_issue_at = now + self._issue_gap
             self._dispatch_bank(bank)
 
     def _issue_event(self, token: int) -> None:
@@ -190,17 +251,39 @@ class MemoryPartition:
         Bank queues are FIFO by arrival, so ``queue[0].seq`` is each bank's
         oldest request; per-(bank, app) counters make the priority check O(1).
         """
+        pending = self._pending_banks
+        if len(pending) == 1:
+            # Fast path: a single candidate needs no arbitration key.
+            (bank,) = pending
+            if self.bank_busy[bank] or not self.bank_queues[bank]:
+                return None
+            return bank
+        busy = self.bank_busy
+        queues = self.bank_queues
+        prio = self.priority_app
+        if prio is None:
+            # Common case (plain FR-FCFS): oldest head request wins, no
+            # priority bit — skip the tuple-key construction entirely.
+            best_bank = None
+            best_seq = 0
+            for bank in pending:
+                if busy[bank]:
+                    continue
+                queue = queues[bank]
+                if not queue:
+                    continue
+                seq = queue[0].seq
+                if best_bank is None or seq < best_seq:
+                    best_seq, best_bank = seq, bank
+            return best_bank
         best_bank = None
         best_key: tuple[int, int] | None = None
-        prio = self.priority_app
-        for bank in self._pending_banks:
-            queue = self.bank_queues[bank]
-            if self.bank_busy[bank] or not queue:
+        queued_per_app = self._queued_per_app
+        for bank in pending:
+            queue = queues[bank]
+            if busy[bank] or not queue:
                 continue
-            has_prio = (
-                0 if prio is not None and self._queued_per_app[bank][prio] else 1
-            )
-            key = (has_prio, queue[0].seq)
+            key = (0 if queued_per_app[bank][prio] else 1, queue[0].seq)
             if best_key is None or key < best_key:
                 best_key, best_bank = key, bank
         return best_bank
@@ -217,28 +300,49 @@ class MemoryPartition:
         queue = self.bank_queues[bank]
         open_row = self.bank_open_row[bank]
         prio = self.priority_app
-        rr = self.config.mc_scheduler == "rr"
+        if self._rr_mode:
+            return self._pick_rr(bank, queue, open_row, prio)
+        # FR-FCFS.  ``queue`` stays sorted by ``seq`` (appends are in seq
+        # order; pops never reorder), so "oldest" is a positional scan and
+        # the first row hit in queue order is the best row hit — the scan
+        # can stop at the first match instead of keying every entry.
+        if prio is not None and self._queued_per_app[bank][prio]:
+            best_i = None
+            for i, r in enumerate(queue):
+                if r.app == prio:
+                    if r.addr.row == open_row:
+                        best_i = i
+                        break
+                    if best_i is None:
+                        best_i = i  # oldest priority request so far
+        else:
+            # Streaming workloads hit the open row at the queue head almost
+            # every time; check it before setting up the scan.
+            if queue[0].addr.row == open_row:
+                return queue.pop(0)
+            best_i = 0
+            for i, r in enumerate(queue):
+                if r.addr.row == open_row:
+                    best_i = i
+                    break
+        return queue.pop(best_i)
+
+    def _pick_rr(
+        self, bank: int, queue: list[DramRequest], open_row: int, prio: int | None
+    ) -> DramRequest:
         best_i = 0
         best_key = None
         for i, r in enumerate(queue):
-            if rr:
-                key = (
-                    0 if (prio is not None and r.app == prio) else 1,
-                    0 if r.app == self._rr_next else 1,
-                    0 if r.addr.row == open_row else 1,
-                    r.seq,
-                )
-            else:
-                key = (
-                    0 if (prio is not None and r.app == prio) else 1,
-                    0 if r.addr.row == open_row else 1,
-                    r.seq,
-                )
+            key = (
+                0 if (prio is not None and r.app == prio) else 1,
+                0 if r.app == self._rr_next else 1,
+                0 if r.addr.row == open_row else 1,
+                r.seq,
+            )
             if best_key is None or key < best_key:
                 best_key, best_i = key, i
         picked = queue.pop(best_i)
-        if rr:
-            self._rr_next = (picked.app + 1) % self.n_apps
+        self._rr_next = (picked.app + 1) % self.n_apps
         return picked
 
     def _dispatch_bank(self, bank: int) -> None:
@@ -247,13 +351,17 @@ class MemoryPartition:
         if not queue or self.bank_busy[bank]:
             return
         req = self._pick(bank)
-        self._queued_per_app[bank][req.app] -= 1
+        app = req.app
+        addr = req.addr
+        row = addr.row
+        self._queued_per_app[bank][app] -= 1
+        self._queued_total -= 1
         now = self.engine.now
-        app, addr = req.app, req.addr
-        mem = self.stats.apps[app]
-        row_hit = self.bank_open_row[bank] == addr.row
+        stats = self.stats
+        mem = stats.apps[app]
+        last_row_app = self.last_row[app]
         activate_at = now
-        if row_hit:
+        if self.bank_open_row[bank] == row:
             mem.row_hits += 1
             latency = self._t_hit
         else:
@@ -261,53 +369,79 @@ class MemoryPartition:
             latency = self._t_miss
             # tFAW: the activation may have to wait for the four-activate
             # window to roll past.
-            if len(self._activates) >= 4:
-                activate_at = max(now, self._activates[-4] + self._t_faw)
-            self._activates.append(activate_at)
-            if len(self._activates) > 4:
-                self._activates.pop(0)
+            activates = self._activates
+            if len(activates) >= 4:
+                window_open = activates[-4] + self._t_faw
+                if window_open > now:
+                    activate_at = window_open
+            activates.append(activate_at)
+            if len(activates) > 4:
+                activates.pop(0)
             # Row-buffer interference detection (paper §4.2.1): the row we
             # must re-open is the one this app opened last in this bank —
             # a co-runner closed it in between.
-            if self.last_row[app][bank] == addr.row:
+            if last_row_app[bank] == row:
                 mem.erb_miss += 1
-        self.last_row[app][bank] = addr.row
+        last_row_app[bank] = row
 
+        t_burst = self._t_burst
         data_ready = activate_at + latency
-        bus_start = max(data_ready, self.bus_free_at)
-        completion = bus_start + self._t_burst
+        bus_free = self.bus_free_at
+        bus_start = data_ready if data_ready > bus_free else bus_free
+        completion = bus_start + t_burst
         self.bus_free_at = completion
-        self.bank_open_row[bank] = addr.row
+        self.bank_open_row[bank] = row
         self.bank_busy[bank] = True
 
         mem.time_request += completion - now
-        mem.data_bus_time += self._t_burst
+        mem.data_bus_time += t_burst
 
-        self.stats.advance(now)
-        self.stats.bank_started(app)
-        self._busy_advance(now)
+        if stats._last_t < now:
+            stats.advance(now)
+        stats._executing[app] += 1  # bank_started, inlined
+        stats._active_banks_total += 1
+        if self._busy_active > 0:  # _busy_advance, inlined
+            self.busy_time += now - self._busy_last
+        self._busy_last = now
         self._busy_active += 1
-        self.engine.at(completion, lambda: self._complete(req, completion))
+        self._schedule(completion - now, self._complete_cb, req)
 
     def _busy_advance(self, now: int) -> None:
         if self._busy_active > 0:
             self.busy_time += now - self._busy_last
         self._busy_last = now
 
-    def _complete(self, req: DramRequest, completion: int) -> None:
+    def _complete(self, req: DramRequest) -> None:
+        completion = self.engine.now  # the event fires exactly at completion
         app = req.app
         bank = req.addr.bank
-        self.stats.advance(completion)
-        self.stats.bank_finished(app)
-        self._busy_advance(completion)
+        stats = self.stats
+        if stats._last_t < completion:
+            stats.advance(completion)
+        stats._executing[app] -= 1  # bank_finished, inlined
+        stats._active_banks_total -= 1
+        if self._busy_active > 0:  # _busy_advance, inlined
+            self.busy_time += completion - self._busy_last
+        self._busy_last = completion
         self._busy_active -= 1
-        self.stats.request_completed(app)
-        self._demand_bank(app, bank, -1)
-        self.stats.apps[app].requests_served += 1
+        stats._outstanding[app] -= 1  # request_completed, inlined
+        d = self._bank_demand[app]  # _demand_bank(app, bank, -1), inlined
+        v = d[bank]
+        if v == 1:
+            stats._demanded[app] -= 1
+        d[bank] = v - 1
+        stats.apps[app].requests_served += 1
         self.bank_busy[bank] = False
         req.callback(completion)
+        self._req_pool.append(req)  # last use: recycle
         if self.bank_queues[bank]:
-            self._pending_banks.add(bank)
+            pending = self._pending_banks
+            if not pending and completion >= self.next_issue_at:
+                # Fast path mirroring _arrive: sole candidate, slot open.
+                self.next_issue_at = completion + self._issue_gap
+                self._dispatch_bank(bank)
+                return
+            pending.add(bank)
             self._try_issue()
 
     # ------------------------------------------------------------- controls
@@ -317,4 +451,5 @@ class MemoryPartition:
         self.priority_app = app
 
     def queue_length(self) -> int:
-        return sum(len(q) for q in self.bank_queues)
+        """Waiting requests across all bank queues (O(1) running counter)."""
+        return self._queued_total

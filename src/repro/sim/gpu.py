@@ -44,6 +44,44 @@ class LaunchedKernel:
 IntervalListener = Callable[[list[IntervalRecord]], None]
 
 
+class MemAccess:
+    """One in-flight memory access, threaded through the whole path.
+
+    The same object is the request-crossbar payload, the partition callback,
+    and the reply-crossbar payload, so the SM → crossbar → partition →
+    crossbar → SM round trip allocates exactly one object instead of a chain
+    of per-hop closures.
+    """
+
+    __slots__ = ("gpu", "part", "addr", "app", "sm", "warp", "wait")
+
+    def __init__(self, gpu, part, addr, app, sm, warp, wait):
+        self.gpu = gpu
+        self.part = part
+        self.addr = addr
+        self.app = app
+        self.sm = sm
+        self.warp = warp
+        self.wait = wait
+
+    def deliver(self) -> None:
+        """Request-crossbar arrival: hand the access to the partition."""
+        self.part.access(self.addr, self.app, self)
+
+    def __call__(self, completion: int) -> None:
+        """Partition completion callback: route the reply (if any).
+
+        The reply crossbar carries the SM's ``memory_response`` bound method
+        plus the warp directly — no per-reply wrapper hop — so this object's
+        last use is here either way: recycle it (see ``GPU._acc_pool``).
+        """
+        if self.wait:
+            self.gpu._xbar_reply_send(
+                self.sm.sm_id, self.sm._memory_response_cb, self.warp
+            )
+        self.gpu._acc_pool.append(self)
+
+
 class GPU:
     """One simulated GPU executing one or more kernels concurrently."""
 
@@ -79,6 +117,7 @@ class GPU:
 
         self.engine = Engine()
         self.mapper = AddressMapper(config)
+        self._decode = self.mapper.decode  # pre-bound: one lookup per access
         self.mem_stats = MemoryStats(n_apps)
         self.partitions = [
             MemoryPartition(self.engine, config, p, n_apps, self.mem_stats)
@@ -94,6 +133,12 @@ class GPU:
             self.engine, config.n_sms, config.icnt_latency,
             config.icnt_packet_cycles,
         )
+        # Cached bound methods for the per-request path.
+        self._xbar_req_send = self.xbar_request.send
+        self._xbar_reply_send = self.xbar_reply.send
+        # Free-list of MemAccess objects (allocation and __init__ are
+        # measurable at one object per memory access).
+        self._acc_pool: list[MemAccess] = []
         self.sm_counters = [AppSMCounters() for _ in range(n_apps)]
         self.progress = [KernelProgress(k.spec) for k in self.kernels]
         self.blocks_inflight = [0] * n_apps
@@ -178,23 +223,25 @@ class GPU:
         ``wait=False`` (stores): the access still occupies the memory
         system, but no response is routed back and the warp is not woken.
         """
-        decoded = self.mapper.decode(addr)
-        part = self.partitions[decoded.partition]
-        app = sm.app if sm.app is not None else warp.block.app
-        engine = self.engine
-
-        sm_port = sm.sm_id
-
-        if wait:
-            def respond(completion: int) -> None:
-                self.xbar_reply.send(sm_port, lambda: sm.memory_response(warp))
+        decoded = self._decode(addr)
+        app = sm.app
+        if app is None:
+            app = warp.block.app
+        part = decoded.partition
+        pool = self._acc_pool
+        if pool:
+            acc = pool.pop()
+            acc.part = self.partitions[part]
+            acc.addr = decoded
+            acc.app = app
+            acc.sm = sm
+            acc.warp = warp
+            acc.wait = wait
         else:
-            def respond(completion: int) -> None:
-                return
-
-        self.xbar_request.send(
-            decoded.partition, lambda: part.access(decoded, app, respond)
-        )
+            acc = MemAccess(
+                self, self.partitions[part], decoded, app, sm, warp, wait
+            )
+        self._xbar_req_send(part, MemAccess.deliver, acc)
 
     # ------------------------------------------------------------ intervals
 

@@ -15,9 +15,9 @@ focus on DRAM-level interference.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
-from repro.sim.engine import Engine
+from repro.sim.engine import _NO_ARG, Engine
 
 
 class CrossbarPort:
@@ -34,42 +34,73 @@ class CrossbarPort:
         self.packets = 0
         self.busy_time = 0
 
-    def send(self, deliver: Callable[[], None]) -> int:
-        """Enqueue one packet; ``deliver`` fires on arrival.  Returns the
-        delivery cycle."""
+    def send(self, deliver: Callable, arg: Any = _NO_ARG) -> int:
+        """Enqueue one packet; ``deliver(arg)`` (or ``deliver()``) fires on
+        arrival.  Returns the delivery cycle.
+
+        Hot-path callers pass a bound method plus payload so no closure is
+        allocated per packet (see :mod:`repro.sim.engine`).
+        """
         now = self.engine.now
-        start = max(now, self.free_at)
+        start = now if now > self.free_at else self.free_at
         self.free_at = start + self.packet_cycles
         self.packets += 1
         self.busy_time += self.packet_cycles
         arrival = self.free_at + self.latency
-        self.engine.at(arrival, deliver)
+        self.engine.schedule(arrival - now, deliver, arg)
         return arrival
 
 
 class Crossbar:
-    """One direction of the interconnect: ``n_ports`` output ports."""
+    """One direction of the interconnect: ``n_ports`` output ports.
+
+    Port state lives in parallel plain lists rather than per-port objects:
+    ``send`` runs once per packet on the memory hot path, and indexed list
+    reads/writes are measurably cheaper than attribute access on a port
+    object.  :class:`CrossbarPort` remains for standalone use.
+    """
+
+    __slots__ = (
+        "engine", "_schedule", "latency", "packet_cycles",
+        "_free_at", "_packets", "_busy_time",
+    )
 
     def __init__(
         self, engine: Engine, n_ports: int, latency: int, packet_cycles: int
     ) -> None:
         if n_ports < 1:
             raise ValueError("need at least one port")
-        self.ports = [
-            CrossbarPort(engine, latency, packet_cycles) for _ in range(n_ports)
-        ]
+        self.engine = engine
+        self._schedule = engine.schedule  # cached bound method (hot path)
+        self.latency = latency
+        self.packet_cycles = packet_cycles
+        self._free_at = [0] * n_ports
+        self._packets = [0] * n_ports
+        self._busy_time = [0] * n_ports
 
-    def send(self, port: int, deliver: Callable[[], None]) -> int:
-        return self.ports[port].send(deliver)
+    def send(self, port: int, deliver: Callable, arg: Any = _NO_ARG) -> int:
+        """Enqueue one packet on ``port``; same contract as
+        :meth:`CrossbarPort.send`."""
+        now = self.engine.now
+        packet_cycles = self.packet_cycles
+        free_list = self._free_at
+        free_at = free_list[port]
+        start = now if now > free_at else free_at
+        free_list[port] = free_at = start + packet_cycles
+        self._packets[port] += 1
+        self._busy_time[port] += packet_cycles
+        arrival = free_at + self.latency
+        self._schedule(arrival - now, deliver, arg)
+        return arrival
 
     def utilization(self, now: int) -> float:
         """Mean fraction of port-time spent transmitting."""
         if now <= 0:
             return 0.0
-        return sum(min(p.busy_time, now) for p in self.ports) / (
-            now * len(self.ports)
+        return sum(min(b, now) for b in self._busy_time) / (
+            now * len(self._busy_time)
         )
 
     @property
     def total_packets(self) -> int:
-        return sum(p.packets for p in self.ports)
+        return sum(self._packets)

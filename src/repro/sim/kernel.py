@@ -87,6 +87,12 @@ class KernelSpec:
         return 1.0 / (1.0 + self.compute_per_mem)
 
 
+#: Steps (compute burst + memory instruction) pregenerated per refill.
+#: Bounded so a warp cut off by the end of the run window wastes at most
+#: one chunk of RNG draws.
+_CHUNK = 32
+
+
 class WarpStream:
     """Deterministic per-warp instruction/address generator.
 
@@ -94,11 +100,19 @@ class WarpStream:
     instruction budget is spent.  Streams are reproducible: the RNG is seeded
     from ``(app seed, block id, warp id)`` so a shared run and its
     matched-instruction alone replay see identical behaviour.
+
+    Steps are pregenerated in chunks (:func:`_refill`) with one tight loop
+    over local variables, so the per-burst calls the SM makes are plain
+    array reads.  The RNG draw order inside a chunk is exactly the draw
+    order of stepwise generation, so the stream of (burst, addresses,
+    is_store) values is bit-identical to the unbatched implementation under
+    the SM's strict burst/memory alternation.
     """
 
     __slots__ = (
         "spec", "_rng", "_cursor", "_region_base", "_hot_base",
         "remaining_insts", "_line_bytes",
+        "_bursts", "_addrs", "_stores", "_idx", "_gen_remaining",
     )
 
     def __init__(
@@ -130,64 +144,126 @@ class WarpStream:
         self._region_base = region & ~1  # granule-aligned for wide accesses
         self._cursor = 0
         self.remaining_insts = spec.insts_per_warp
+        # Pregenerated step trace (parallel arrays) and its read cursor.
+        self._bursts: list[int] = []
+        self._addrs: list[list[int]] = []
+        self._stores: list[bool] = []
+        self._idx = 0
+        self._gen_remaining = spec.insts_per_warp
 
     @property
     def done(self) -> bool:
         return self.remaining_insts <= 0
 
+    def _refill(self) -> None:
+        """Pregenerate the next chunk of (burst, addresses, is_store) steps.
+
+        One step consumes at least one instruction, so at most
+        ``remaining`` steps are left — the chunk is clamped to that, keeping
+        the overshoot past the run window at zero for finishing warps.
+        """
+        spec = self.spec
+        rng = self._rng
+        uniform = rng.uniform
+        rand = rng.random
+        randrange = rng.randrange
+        remaining = self._gen_remaining
+        bursts: list[int] = []
+        addr_lists: list[list[int]] = []
+        stores: list[bool] = []
+
+        mean = spec.compute_per_mem
+        draw_burst = mean > 0
+        jitter = spec.burst_jitter
+        lo = max(0.0, mean * (1.0 - jitter))
+        hi = mean * (1.0 + jitter)
+        sf = spec.store_fraction
+        wf = spec.wide_fraction
+        rf = spec.reuse_fraction
+        n_acc = spec.accesses_per_mem_inst
+        pattern_random = spec.pattern is AccessPattern.RANDOM
+        hot_base = self._hot_base
+        hot_lines = spec.hot_set_lines
+        region_base = self._region_base
+        ws_lines = spec.working_set_lines
+        stride = spec.stride_lines
+        line_bytes = self._line_bytes
+        cursor = self._cursor
+
+        limit = remaining if 0 < remaining <= _CHUNK else (
+            _CHUNK if remaining > 0 else 1  # past-done misuse: step at a time
+        )
+        for _ in range(limit):
+            # Compute burst: same draw and the same cap as the stepwise code.
+            if draw_burst:
+                burst = int(round(uniform(lo, hi)))
+            else:
+                burst = 0
+            cap = remaining - 1
+            if cap < 0:
+                cap = 0
+            if burst > cap:
+                burst = cap
+            remaining -= burst
+            # Memory instruction: store flag, then one or more addresses.
+            # A *wide* access (``wide_fraction``) touches two consecutive
+            # lines aligned to one interleave granule, so both land in the
+            # same partition and DRAM row and are outstanding together —
+            # the FR-FCFS controller then serves the second as a row hit.
+            is_store = sf > 0.0 and rand() < sf
+            remaining -= 1
+            out: list[int] = []
+            for _ in range(n_acc):
+                wide = wf > 0.0 and rand() < wf
+                if rf > 0.0 and rand() < rf:
+                    line = hot_base + randrange(hot_lines)
+                    wide = False  # hot-set lines are cache-resident singles
+                elif pattern_random:
+                    line = region_base + randrange(ws_lines)
+                    if wide:
+                        line &= ~1
+                else:  # STREAM / STRIDED
+                    if wide:
+                        cursor = (cursor + 1) & ~1  # granule-align
+                    line = region_base + cursor
+                    cursor += 2 if wide else stride
+                out.append(line * line_bytes)
+                if wide:
+                    out.append((line + 1) * line_bytes)
+            bursts.append(burst)
+            addr_lists.append(out)
+            stores.append(is_store)
+
+        self._cursor = cursor
+        self._gen_remaining = remaining
+        self._bursts = bursts
+        self._addrs = addr_lists
+        self._stores = stores
+        self._idx = 0
+
     def next_compute_burst(self) -> int:
         """Length of the next compute burst, in instructions (may be 0)."""
-        spec = self.spec
-        mean = spec.compute_per_mem
-        if mean <= 0:
-            burst = 0
-        else:
-            jitter = spec.burst_jitter
-            lo = max(0.0, mean * (1.0 - jitter))
-            hi = mean * (1.0 + jitter)
-            burst = int(round(self._rng.uniform(lo, hi)))
-        burst = min(burst, max(0, self.remaining_insts - 1))
+        i = self._idx
+        if i >= len(self._bursts):
+            self._refill()
+            i = 0
+        burst = self._bursts[i]
         self.remaining_insts -= burst
         return burst
 
     def next_mem_access(self) -> tuple[list[int], bool]:
         """(byte addresses, is_store) for the next memory instruction."""
-        is_store = (
-            self.spec.store_fraction > 0.0
-            and self._rng.random() < self.spec.store_fraction
-        )
-        return self.next_mem_addresses(), is_store
+        i = self._idx
+        if i >= len(self._addrs):
+            self._refill()
+            i = 0
+        self._idx = i + 1
+        self.remaining_insts -= 1
+        return self._addrs[i], self._stores[i]
 
     def next_mem_addresses(self) -> list[int]:
-        """Byte addresses touched by the next memory instruction.
-
-        A *wide* access (``wide_fraction``) touches two consecutive lines
-        aligned to one interleave granule, so both land in the same
-        partition and DRAM row and are outstanding together — the FR-FCFS
-        controller then serves the second as a row hit.
-        """
-        spec = self.spec
-        self.remaining_insts -= 1
-        rng = self._rng
-        out: list[int] = []
-        for _ in range(spec.accesses_per_mem_inst):
-            wide = spec.wide_fraction > 0.0 and rng.random() < spec.wide_fraction
-            if spec.reuse_fraction > 0.0 and rng.random() < spec.reuse_fraction:
-                line = self._hot_base + rng.randrange(spec.hot_set_lines)
-                wide = False  # hot-set lines are cache-resident singles
-            elif spec.pattern is AccessPattern.RANDOM:
-                line = self._region_base + rng.randrange(spec.working_set_lines)
-                if wide:
-                    line &= ~1
-            else:  # STREAM / STRIDED
-                if wide:
-                    self._cursor = (self._cursor + 1) & ~1  # granule-align
-                line = self._region_base + self._cursor
-                self._cursor += 2 if wide else spec.stride_lines
-            out.append(line * self._line_bytes)
-            if wide:
-                out.append((line + 1) * self._line_bytes)
-        return out
+        """Byte addresses touched by the next memory instruction."""
+        return self.next_mem_access()[0]
 
 
 @dataclass

@@ -17,7 +17,7 @@ import heapq
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import GPUConfig
-from repro.sim.cache import SetAssocCache
+from repro.sim.cache import CacheStats, SetAssocCache
 from repro.sim.engine import Engine
 from repro.sim.kernel import WarpStream
 
@@ -80,6 +80,10 @@ class SM:
         self.draining = False
         self.on_drained: Callable[["SM"], None] | None = None
 
+        # Hot-path config scalars.
+        self._issue_width = config.issue_width
+        self._l1_latency = config.l1_latency
+
         # Processor-sharing state.
         self._V = 0.0  # virtual time
         self._t_last = 0  # real time of last advance
@@ -101,6 +105,11 @@ class SM:
         self._l1_line_shift = line.bit_length() - 1
         self._l1_set_mask = config.l1.n_sets - 1
         self._l1_set_bits = config.l1.n_sets.bit_length() - 1
+
+        # Cached bound methods (see MemoryPartition.__init__).
+        self._schedule = engine.schedule
+        self._on_completion_cb = self._on_completion
+        self._memory_response_cb = self.memory_response
 
     # ------------------------------------------------------------- capacity
 
@@ -133,7 +142,7 @@ class SM:
         if dt <= 0:
             return
         if self._n_active > 0:
-            self._V += dt * self.config.issue_width / self._n_active
+            self._V += dt * self._issue_width / self._n_active
             self.busy_time += dt
             if self.app is not None:
                 self.gpu.sm_counters[self.app].busy_time += dt
@@ -148,24 +157,28 @@ class SM:
         self._gen += 1
         if not self._heap or self._n_active == 0:
             return
-        gen = self._gen
         vfirst = self._heap[0][0]
-        dt = (vfirst - self._V) * self._n_active / self.config.issue_width
+        dt = (vfirst - self._V) * self._n_active / self._issue_width
         fire_at = self._t_last + max(0, int(dt + 0.999999))
-        self.engine.at(max(fire_at, self.engine.now), lambda: self._on_completion(gen))
+        now = self.engine.now
+        self._schedule(
+            fire_at - now if fire_at > now else 0, self._on_completion_cb, self._gen
+        )
 
     def _on_completion(self, gen: int) -> None:
         if gen != self._gen:
             return  # stale event: state changed since scheduling
         now = self.engine.now
         self._advance(now)
-        eps = 1e-7 * max(1.0, abs(self._V))
-        finished: list[WarpRT] = []
-        while self._heap and self._heap[0][0] <= self._V + eps:
-            _, _, warp = heapq.heappop(self._heap)
+        # Pop-and-dispatch in one pass: _burst_done never touches the heap,
+        # _V, or _n_active, so interleaving is equivalent to the two-phase
+        # collect-then-dispatch form but skips the intermediate list.
+        limit = self._V + 1e-7 * max(1.0, abs(self._V))
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][0] <= limit:
+            warp = heappop(heap)[2]
             self._n_active -= 1
-            finished.append(warp)
-        for warp in finished:
             self._burst_done(warp)
         self._reschedule()
 
@@ -203,48 +216,73 @@ class SM:
 
     def _burst_done(self, warp: WarpRT) -> None:
         """A warp finished its compute burst + memory instruction issue."""
-        app = self.app if self.app is not None else warp.block.app
-        if self.app is not None:
-            self.gpu.sm_counters[self.app].instructions += warp.work
-            self.gpu.progress[self.app].instructions += warp.work
-            self.gpu.note_instructions(self.app)
+        gpu = self.gpu
+        app = self.app
+        if app is not None:
+            gpu.sm_counters[app].instructions += warp.work
+            gpu.progress[app].instructions += warp.work
+            if gpu._inst_target is not None:
+                gpu.note_instructions(app)
+        else:
+            app = warp.block.app
         addresses, is_store = warp.stream.next_mem_access()
-        counters = self.gpu.sm_counters[app]
         if is_store:
             # Write-through, no-allocate: the store consumes memory-system
-            # bandwidth but the warp does not wait for it.
+            # bandwidth but the warp does not wait for it — one wake-up
+            # event regardless of how many lines the store touches.
             for addr in addresses:
-                self.gpu.issue_memory_request(self, warp, addr, wait=False)
+                gpu.issue_memory_request(self, warp, addr, wait=False)
             warp.state = WarpState.BLOCKED
             warp.pending = 1
             self._blocked += 1
-            self.engine.schedule(
-                self.config.l1_latency, lambda: self.memory_response(warp)
-            )
+            self._schedule(self._l1_latency, self._memory_response_cb, warp)
             return
-        if self.l1 is None:
+        l1 = self.l1
+        if l1 is None:
             misses = addresses
         else:
+            # Inlined SetAssocCache.access (L1 probe/fill) — runs once per
+            # address of every load burst.
+            counters = gpu.sm_counters[app]
+            line_shift = self._l1_line_shift
+            set_mask = self._l1_set_mask
+            set_bits = self._l1_set_bits
+            l1_sets = l1._sets
+            assoc = l1._assoc
+            cstats = l1.stats
+            st = cstats.get(app)
+            if st is None:
+                st = cstats[app] = CacheStats()
             misses = []
             for addr in addresses:
-                if self._l1_lookup(addr, app):
+                line = addr >> line_shift
+                s = l1_sets[line & set_mask]
+                tag = line >> set_bits
+                if tag in s:
+                    s.move_to_end(tag)
+                    s[tag] = app
+                    st.hits += 1
                     counters.l1_hits += 1
                 else:
+                    st.misses += 1
+                    if len(s) >= assoc:
+                        s.popitem(last=False)
+                    s[tag] = app
                     counters.l1_misses += 1
                     misses.append(addr)
         warp.state = WarpState.BLOCKED
         self._blocked += 1
         if not misses:
             # Every line hit in the L1: the warp resumes after the hit
-            # latency without touching the shared memory system.
+            # latency without touching the shared memory system — a single
+            # event for the whole all-hits burst.
             warp.pending = 1
-            self.engine.schedule(
-                self.config.l1_latency, lambda: self.memory_response(warp)
-            )
+            self._schedule(self._l1_latency, self._memory_response_cb, warp)
             return
         warp.pending = len(misses)
+        issue = gpu.issue_memory_request
         for addr in misses:
-            self.gpu.issue_memory_request(self, warp, addr)
+            issue(self, warp, addr)
 
     def memory_response(self, warp: WarpRT) -> None:
         """One of the warp's outstanding requests returned."""

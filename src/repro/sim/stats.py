@@ -9,12 +9,16 @@ paper's "reset all counters at the beginning of each estimation interval".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class AppMemCounters:
-    """Monotonic per-application memory-system counters."""
+    """Monotonic per-application memory-system counters.
+
+    Slotted: the memory path bumps several of these per DRAM request, and
+    slot access is measurably cheaper than instance-dict access.
+    """
 
     requests_served: int = 0  # Request_i: DRAM requests completed
     time_request: int = 0  # Σ (completion − schedule) over served requests
@@ -30,12 +34,17 @@ class AppMemCounters:
     outstanding_time: float = 0.0  # ∫ [i has ≥1 outstanding DRAM request]
 
     def snapshot(self) -> "AppMemCounters":
-        return AppMemCounters(**vars(self))
+        return AppMemCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
 
     def delta(self, earlier: "AppMemCounters") -> "AppMemCounters":
         """Counter increments since ``earlier`` (an older snapshot)."""
         return AppMemCounters(
-            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
 
@@ -65,11 +74,14 @@ class MemoryStats:
         if dt <= 0:
             return
         self._last_t = now
-        for i in range(self.n_apps):
-            if self._outstanding[i] > 0:
-                self.apps[i].outstanding_time += dt
-            self.apps[i].demanded_bank_integral += dt * self._demanded[i]
-            self.apps[i].executing_bank_integral += dt * self._executing[i]
+        outstanding = self._outstanding
+        demanded = self._demanded
+        executing = self._executing
+        for i, app in enumerate(self.apps):
+            if outstanding[i] > 0:
+                app.outstanding_time += dt
+            app.demanded_bank_integral += dt * demanded[i]
+            app.executing_bank_integral += dt * executing[i]
         if self._active_banks_total > 0:
             self.busy_time += dt
 
@@ -98,7 +110,7 @@ class MemoryStats:
         return self._outstanding[app]
 
 
-@dataclass
+@dataclass(slots=True)
 class AppSMCounters:
     """Per-application SM-side counters (α and instruction throughput)."""
 
@@ -110,11 +122,16 @@ class AppSMCounters:
     l1_misses: int = 0
 
     def snapshot(self) -> "AppSMCounters":
-        return AppSMCounters(**vars(self))
+        return AppSMCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
 
     def delta(self, earlier: "AppSMCounters") -> "AppSMCounters":
         return AppSMCounters(
-            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     @property

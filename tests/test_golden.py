@@ -1,9 +1,12 @@
-"""Golden regression fixtures for three representative two-app workloads.
+"""Golden regression fixtures: three representative two-app workloads plus
+one four-app workload.
 
 The simulator is deterministic, so small-scale expected values can be
 checked in and compared exactly: any drift in the memory system, the SM
 model, or the matched-instruction methodology shows up here as a failure
-rather than silently shifting every figure.
+rather than silently shifting every figure.  The same fixtures are checked
+both inline and through the process-pool sweep path, so the pooled harness
+is held to the identical bit-for-bit contract.
 
 Regenerate after an *intentional* model change with:
 
@@ -25,6 +28,8 @@ GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_pairs.json"
 
 #: A memory-victim pair, a balanced pair, and a cache-sensitive pair.
 PAIRS = [("SD", "SB"), ("NN", "VA"), ("CS", "SC")]
+#: Four-way mix: two bandwidth hogs + a latency-sensitive app + a cache app.
+QUADS = [("SD", "NN", "CS", "SB")]
 SHARED_CYCLES = 40_000
 
 
@@ -49,6 +54,7 @@ def regenerate() -> None:
         "shared_cycles": SHARED_CYCLES,
         "config_fingerprint": config_fingerprint(_config()),
         "pairs": {"+".join(p): _measure(p) for p in PAIRS},
+        "quads": {"+".join(q): _measure(q) for q in QUADS},
     }
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -70,11 +76,7 @@ def test_golden_config_unchanged(golden):
     assert golden["shared_cycles"] == SHARED_CYCLES
 
 
-@pytest.mark.slow
-@pytest.mark.parametrize("pair", PAIRS, ids="+".join)
-def test_golden_pair(golden, pair):
-    expected = golden["pairs"]["+".join(pair)]
-    got = _measure(pair)
+def _assert_matches(got, expected):
     # Integer outputs must match exactly; floats to within accumulated
     # rounding noise (the sim itself is bit-deterministic — the tolerance
     # only guards against libm differences across platforms).
@@ -84,6 +86,44 @@ def test_golden_pair(golden, pair):
         assert got[k] == pytest.approx(expected[k], rel=1e-9)
     for k in ("unfairness", "hspeedup"):
         assert got[k] == pytest.approx(expected[k], rel=1e-9)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("pair", PAIRS, ids="+".join)
+def test_golden_pair(golden, pair):
+    _assert_matches(_measure(pair), golden["pairs"]["+".join(pair)])
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("quad", QUADS, ids="+".join)
+def test_golden_quad(golden, quad):
+    _assert_matches(_measure(quad), golden["quads"]["+".join(quad)])
+
+
+@pytest.mark.slow
+def test_golden_all_pooled(golden):
+    """Every golden workload, reproduced through the process-pool sweep
+    path (``run_workloads`` with 2 workers): the pooled harness must
+    return the exact fixtures the inline path produces."""
+    from repro.harness.parallel import run_workloads
+
+    workloads = [list(p) for p in PAIRS] + [list(q) for q in QUADS]
+    outcomes = run_workloads(
+        workloads, jobs=2, config=_config(),
+        shared_cycles=SHARED_CYCLES, models=(),
+    )
+    for combo, outcome in zip(workloads, outcomes):
+        res = outcome.unwrap()
+        got = {
+            "instructions": res.instructions,
+            "alone_cycles": res.alone_cycles,
+            "slowdowns": res.actual_slowdowns,
+            "unfairness": res.actual_unfairness,
+            "hspeedup": res.actual_hspeedup,
+        }
+        key = "+".join(combo)
+        section = "pairs" if len(combo) == 2 else "quads"
+        _assert_matches(got, golden[section][key])
 
 
 if __name__ == "__main__":
