@@ -143,10 +143,12 @@ def time_best_of(fn, reps: int = 5) -> float:
     return best
 
 
-def measure(reps: int = 5) -> dict:
+def measure(reps: int = 5, only: list[str] | None = None) -> dict:
     cal = calibrate()
     benches = {}
     for name, fn in BENCHES.items():
+        if only is not None and name not in only:
+            continue
         seconds = time_best_of(fn, reps)
         benches[name] = {
             "seconds": seconds,
@@ -159,18 +161,26 @@ def measure(reps: int = 5) -> dict:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "calibration_seconds": cal,
+        "only": sorted(only) if only is not None else None,
         "benches": benches,
     }
 
 
 def check(result: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Normalized-time regressions beyond ``tolerance`` vs the baseline."""
+    """Normalized-time regressions beyond ``tolerance`` vs the baseline.
+
+    Only benchmarks present in the current run are compared, so a
+    ``--only``-restricted run checks just what it measured.
+    """
     failures = []
+    measured = result["benches"]
+    restricted = result.get("only") is not None
     for name, base in baseline.get("benches", {}).items():
-        got = result["benches"].get(name)
-        if got is None:
-            failures.append(f"{name}: missing from current run")
+        if name not in measured:
+            if not restricted:
+                failures.append(f"{name}: missing from current run")
             continue
+        got = measured[name]
         limit = base["normalized"] * (1.0 + tolerance)
         if got["normalized"] > limit:
             failures.append(
@@ -191,9 +201,20 @@ def main(argv: list[str] | None = None) -> int:
                    help="fail on regression vs this committed baseline")
     p.add_argument("--tolerance", type=float, default=0.30,
                    help="allowed normalized-time regression (default 0.30)")
+    p.add_argument("--only", default=None, metavar="NAME[,NAME]",
+                   help="measure only these benchmarks (comma-separated); "
+                        f"choices: {','.join(BENCHES)}")
     args = p.parse_args(argv)
 
-    result = measure(reps=args.reps)
+    only = None
+    if args.only:
+        only = [n for n in args.only.split(",") if n]
+        unknown = [n for n in only if n not in BENCHES]
+        if unknown:
+            p.error(f"unknown benchmark(s) {','.join(unknown)}; "
+                    f"choices: {','.join(BENCHES)}")
+
+    result = measure(reps=args.reps, only=only)
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -5,7 +5,9 @@
     python -m repro fig5 --limit 4
     python -m repro fig5 --jobs 4 --cache-dir results/alone_cache
     python -m repro run SD SB --cycles 120000
-    REPRO_FULL=1 python -m repro fig9 --jobs 8
+    python -m repro trace SD SB --out obs_run --format html,chrome
+    python -m repro inspect obs_run
+    REPRO_FULL=1 python -m repro fig9 --jobs 8 --progress
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ def _cmd_list(args) -> int:
         ("fig8b", "sensitivity to the SM count"),
         ("fig9", "DASE-Fair vs even split"),
         ("run", "run an arbitrary workload: python -m repro run SD SB"),
+        ("trace", "record a traced run: python -m repro trace SD SB"),
+        ("inspect", "summarize a recorded run or Chrome trace"),
     ]
     from repro.harness.report import table
 
@@ -70,8 +74,34 @@ def _cmd_table3(args) -> int:
 def _cmd_fig(args) -> int:
     from repro.harness import experiments as ex
     from repro.harness import report as rp
+    from repro.harness.parallel import set_default_progress
 
     name = args.experiment
+    # --progress / --sweep-log attach a live reporter (and a JSONL log) to
+    # every sweep the experiment driver runs, via the ambient factory — the
+    # drivers themselves need no progress plumbing.
+    logger = None
+    if getattr(args, "progress", False) or getattr(args, "sweep_log", None):
+        from repro.obs import JsonlLogger, SweepProgress
+
+        if args.sweep_log:
+            logger = JsonlLogger(args.sweep_log)
+            set_default_progress(
+                lambda total: logger.reporter(total, label=name)
+            )
+        else:
+            set_default_progress(
+                lambda total: SweepProgress(total, label=name)
+            )
+    try:
+        return _run_fig(args, ex, rp, name)
+    finally:
+        set_default_progress(None)
+        if logger is not None:
+            logger.close()
+
+
+def _run_fig(args, ex, rp, name: str) -> int:
     # Sweep-shaped experiments fan out across --jobs worker processes and
     # memoise alone replays under --cache-dir (see docs/parallel-harness.md).
     par = {"jobs": args.jobs, "cache_dir": args.cache_dir}
@@ -112,11 +142,20 @@ def _cmd_run(args) -> int:
         if a not in APP_NAMES:
             raise SystemExit(f"unknown app {a!r}; choose from {APP_NAMES}")
     models = tuple(args.models.split(",")) if args.models else ()
+    obs = None
+    if args.trace:
+        from repro.obs import Observation
+
+        obs = Observation()
     res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
-                       profile_path=args.profile)
+                       profile_path=args.profile, trace=obs)
     if args.profile:
         print(f"profile written to {args.profile} "
               f"(inspect: python -m pstats {args.profile})", file=sys.stderr)
+    if args.trace:
+        _write_trace_file(obs, res, args.trace, args.trace_format)
+        print(f"{args.trace_format} trace written to {args.trace}",
+              file=sys.stderr)
     rows = []
     for i, name in enumerate(res.names):
         row = [name, res.sm_partition[i], f"{res.actual_slowdowns[i]:.2f}"]
@@ -129,6 +168,98 @@ def _cmd_run(args) -> int:
           f"H-speedup {res.actual_hspeedup:.3f}")
     for m in models:
         print(f"{m} mean error: {pct(res.mean_error(m))}")
+    return 0
+
+
+def _write_trace_file(obs, result, path: str, fmt: str) -> None:
+    """Export one recording as a single file in the requested format."""
+    from repro.obs import (
+        export_chrome_trace,
+        export_events_csv,
+        export_html_report,
+    )
+
+    if fmt == "chrome":
+        export_chrome_trace(obs.tracer, path)
+    elif fmt == "csv":
+        export_events_csv(obs.tracer, path)
+    elif fmt == "html":
+        export_html_report(
+            path,
+            result=result,
+            telemetry=obs.telemetry,
+            tracer=obs.tracer,
+            registry=obs.registry,
+            title="+".join(result.names),
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown trace format {fmt!r}")
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import pathlib
+
+    from repro.harness import run_workload
+    from repro.obs import Observation, trace_summary
+    from repro.obs.inspect import RUN_SCHEMA, summarize_run
+    from repro.workloads import APP_NAMES
+
+    for a in args.apps:
+        if a not in APP_NAMES:
+            raise SystemExit(f"unknown app {a!r}; choose from {APP_NAMES}")
+    models = tuple(m for m in args.models.split(",") if m)
+    formats = [f for f in args.format.split(",") if f]
+    for f in formats:
+        if f not in ("chrome", "csv", "html"):
+            raise SystemExit(
+                f"unknown trace format {f!r}; choose from chrome,csv,html"
+            )
+
+    obs = (
+        Observation(trace_capacity=args.trace_capacity)
+        if args.trace_capacity
+        else Observation()
+    )
+    res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
+                       trace=obs)
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    files: dict[str, str] = {}
+    exports = {"chrome": "trace.json", "csv": "events.csv",
+               "html": "report.html"}
+    for fmt in formats:
+        target = out / exports[fmt]
+        _write_trace_file(obs, res, str(target), fmt)
+        files[fmt] = exports[fmt]
+    manifest = {
+        "schema": RUN_SCHEMA,
+        "workload": res.to_dict(),
+        "trace": trace_summary(obs.tracer),
+        "metrics": obs.registry.snapshot(),
+        "files": files,
+    }
+    with (out / "run.json").open("w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+    print(summarize_run(manifest))
+    hints = []
+    if "html" in files:
+        hints.append("open report.html in a browser")
+    if "chrome" in files:
+        hints.append("load trace.json in https://ui.perfetto.dev")
+    tail = f" ({'; '.join(hints)})" if hints else ""
+    print(f"\nrecorded run written to {out}/{tail}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.obs import inspect_path
+
+    try:
+        print(inspect_path(args.path))
+    except (ValueError, OSError) as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -161,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk alone-replay cache "
                              "(default: $REPRO_CACHE_DIR, else no caching)")
+        fp.add_argument("--progress", action="store_true",
+                        help="live per-job progress (ETA, jobs/s, cache "
+                             "hits) on stderr for every sweep")
+        fp.add_argument("--sweep-log", default=None, metavar="PATH",
+                        help="append one JSONL record per completed sweep "
+                             "job to PATH (implies --progress)")
         fp.set_defaults(func=_cmd_fig, experiment=fig)
 
     rn = sub.add_parser("run", help="run an arbitrary workload")
@@ -171,7 +308,41 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--profile", default=None, metavar="PATH",
                     help="dump cProfile stats for the run to PATH "
                          "(see docs/performance.md)")
+    rn.add_argument("--trace", default=None, metavar="PATH",
+                    help="record the shared run and write the trace to PATH "
+                         "(format set by --trace-format; see "
+                         "docs/observability.md)")
+    rn.add_argument("--trace-format", choices=("chrome", "csv", "html"),
+                    default="chrome",
+                    help="file format for --trace (default: chrome, "
+                         "loadable in https://ui.perfetto.dev)")
     rn.set_defaults(func=_cmd_run)
+
+    tr = sub.add_parser(
+        "trace",
+        help="record a fully traced run and export trace + report + manifest",
+    )
+    tr.add_argument("apps", nargs="+", help="suite app names, e.g. SD SB")
+    tr.add_argument("--cycles", type=int, default=None)
+    tr.add_argument("--models", default="DASE,MISE,ASM",
+                    help="comma-separated estimators (empty for none)")
+    tr.add_argument("--out", default="obs_run", metavar="DIR",
+                    help="output directory (default: obs_run)")
+    tr.add_argument("--format", default="chrome,csv,html",
+                    help="comma-separated exports: chrome,csv,html "
+                         "(default: all)")
+    tr.add_argument("--trace-capacity", type=int, default=None,
+                    metavar="EVENTS",
+                    help="event ring capacity (default: 262144; oldest "
+                         "events drop once full)")
+    tr.set_defaults(func=_cmd_trace)
+
+    ins = sub.add_parser(
+        "inspect", help="summarize a recorded run dir, run.json, or "
+                        "Chrome trace JSON"
+    )
+    ins.add_argument("path", help="run directory, run.json, or trace.json")
+    ins.set_defaults(func=_cmd_inspect)
 
     sm = sub.add_parser(
         "summarize", help="paper-vs-measured summary from results/*.json"

@@ -14,6 +14,7 @@ from repro.harness.parallel import (
     WorkloadJob,
     run_jobs,
     run_workloads,
+    set_default_progress,
 )
 from repro.harness.persist import (
     atomic_write_json,
@@ -22,7 +23,9 @@ from repro.harness.persist import (
     save_result,
 )
 from repro.harness.replay_cache import AloneReplayCache, resolve_cache
-from repro.harness.telemetry import Sample, Telemetry
+# Telemetry lives in repro.obs now; re-exported here for compatibility
+# (repro.harness.telemetry is a deprecated shim that warns on import).
+from repro.obs.telemetry import Sample, Telemetry
 
 __all__ = [
     "WorkloadResult",
@@ -34,6 +37,7 @@ __all__ = [
     "JobOutcome",
     "run_jobs",
     "run_workloads",
+    "set_default_progress",
     "AloneReplayCache",
     "resolve_cache",
     "Telemetry",

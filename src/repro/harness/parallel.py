@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -81,6 +81,9 @@ class JobOutcome:
     result: WorkloadResult | None = None
     error: str | None = None
     duration_s: float = 0.0
+    #: Alone-replay cache counters for this job ({"hits", "misses",
+    #: "stores"}), or None when the job ran uncached.
+    cache: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -94,8 +97,10 @@ class JobOutcome:
         return self.result
 
 
-def execute_job(job: WorkloadJob) -> WorkloadResult:
-    """Run one job in the current process (the worker entry point)."""
+def _execute_with_cache(
+    job: WorkloadJob,
+) -> tuple[WorkloadResult, dict | None]:
+    """Run one job; returns the result plus alone-replay cache counters."""
     config = job.config or scaled_config()
     policy = None
     if job.policy is not None:
@@ -110,7 +115,7 @@ def execute_job(job: WorkloadJob) -> WorkloadResult:
     cache: AloneReplayCache | None = (
         AloneReplayCache(job.cache_dir) if job.cache_dir else None
     )
-    return run_workload(
+    result = run_workload(
         list(job.apps),
         config=config,
         shared_cycles=job.shared_cycles,
@@ -120,6 +125,17 @@ def execute_job(job: WorkloadJob) -> WorkloadResult:
         warmup_intervals=job.warmup_intervals,
         alone_cache=cache,
     )
+    cache_stats = (
+        {"hits": cache.hits, "misses": cache.misses, "stores": cache.stores}
+        if cache is not None
+        else None
+    )
+    return result, cache_stats
+
+
+def execute_job(job: WorkloadJob) -> WorkloadResult:
+    """Run one job in the current process (the worker entry point)."""
+    return _execute_with_cache(job)[0]
 
 
 def _guarded(indexed_job: tuple[int, WorkloadJob]) -> JobOutcome:
@@ -127,16 +143,36 @@ def _guarded(indexed_job: tuple[int, WorkloadJob]) -> JobOutcome:
     index, job = indexed_job
     t0 = time.perf_counter()
     try:
-        result = execute_job(job)
+        result, cache_stats = _execute_with_cache(job)
         return JobOutcome(index, job, result=result,
-                          duration_s=time.perf_counter() - t0)
+                          duration_s=time.perf_counter() - t0,
+                          cache=cache_stats)
     except Exception:
         return JobOutcome(index, job, error=traceback.format_exc(),
                           duration_s=time.perf_counter() - t0)
 
 
+#: Ambient progress factory (``total_jobs -> reporter or None``): lets a
+#: CLI entry point attach live progress to every sweep an experiment driver
+#: runs without threading a kwarg through each driver's signature.
+_PROGRESS_FACTORY: Callable[[int], object] | None = None
+
+
+def set_default_progress(factory: Callable[[int], object] | None) -> None:
+    """Install (or clear, with None) the ambient sweep-progress factory.
+
+    The factory is called with the job count of each sweep and returns an
+    object with ``job_done(outcome)`` / ``close()`` (duck-typed; see
+    :class:`repro.obs.SweepProgress`), or None to skip that sweep.
+    """
+    global _PROGRESS_FACTORY
+    _PROGRESS_FACTORY = factory
+
+
 def run_jobs(
-    jobs: Sequence[WorkloadJob], n_jobs: int | None = None
+    jobs: Sequence[WorkloadJob],
+    n_jobs: int | None = None,
+    progress=None,
 ) -> list[JobOutcome]:
     """Execute ``jobs``, fanning out across ``n_jobs`` worker processes.
 
@@ -145,17 +181,45 @@ def run_jobs(
     contract.  Outcomes always come back ordered by submission index,
     regardless of which worker finished first, and a job that raises is
     returned as a failed :class:`JobOutcome` rather than aborting the rest.
+
+    ``progress`` (or, if None, the factory installed with
+    :func:`set_default_progress`) receives each :class:`JobOutcome` as it
+    *finishes* — completion order, not submission order — via
+    ``job_done``, then ``close()`` when the sweep ends.
     """
     indexed = list(enumerate(jobs))
     if not indexed:
         return []
+    prog = progress
+    if prog is None and _PROGRESS_FACTORY is not None:
+        prog = _PROGRESS_FACTORY(len(indexed))
     workers = min(n_jobs or 1, len(indexed))
-    if workers <= 1:
-        return [_guarded(ij) for ij in indexed]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        outcomes = list(pool.map(_guarded, indexed, chunksize=1))
-    outcomes.sort(key=lambda o: o.index)
-    return outcomes
+    try:
+        if workers <= 1:
+            outcomes = []
+            for ij in indexed:
+                outcome = _guarded(ij)
+                if prog is not None:
+                    prog.job_done(outcome)
+                outcomes.append(outcome)
+            return outcomes
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if prog is None:
+                outcomes = list(pool.map(_guarded, indexed, chunksize=1))
+            else:
+                # submit + as_completed so the reporter sees each job the
+                # moment it finishes rather than in submission order.
+                futures = [pool.submit(_guarded, ij) for ij in indexed]
+                outcomes = []
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    prog.job_done(outcome)
+                    outcomes.append(outcome)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+    finally:
+        if prog is not None:
+            prog.close()
 
 
 def run_workloads(
@@ -168,12 +232,14 @@ def run_workloads(
     policy: str | None = None,
     warmup_intervals: int = 1,
     cache_dir: str | None = None,
+    progress=None,
 ) -> list[JobOutcome]:
     """Sweep many workloads under one shared set of run parameters.
 
     ``cache_dir`` of None falls back to ``$REPRO_CACHE_DIR`` (see
     :func:`repro.harness.replay_cache.resolve_cache`); pass a path to
-    persist alone replays across invocations.
+    persist alone replays across invocations.  ``progress`` is forwarded
+    to :func:`run_jobs`.
     """
     if cache_dir is not None:
         AloneReplayCache(cache_dir)  # fail fast on an unusable directory
@@ -193,4 +259,4 @@ def run_workloads(
         )
         for combo in workloads
     ]
-    return run_jobs(specs, n_jobs=jobs)
+    return run_jobs(specs, n_jobs=jobs, progress=progress)

@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Sequence
 from repro.config import GPUConfig
 from repro.core import ASM, DASE, MISE, PriorityRotator, SlowdownEstimator
 from repro.metrics import estimation_error, harmonic_speedup, unfairness
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracer import EventTracer, Observation
 from repro.sim.gpu import GPU, LaunchedKernel
 from repro.sim.kernel import KernelSpec
 from repro.workloads import SUITE
@@ -152,6 +154,7 @@ def run_workload(
     warmup_intervals: int = 1,
     alone_cache: "AloneReplayCache | None" = None,
     profile_path: str | None = None,
+    trace: Observation | EventTracer | None = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
@@ -165,7 +168,26 @@ def run_workload(
     ``profile_path`` profiles the whole methodology (shared run + alone
     replays) under :mod:`cProfile` and dumps binary pstats data there —
     load it with ``python -m pstats`` or snakeviz; see docs/performance.md.
+
+    ``trace`` records the *shared run* into an :class:`repro.obs.Observation`
+    (or a bare :class:`~repro.obs.EventTracer`, which gets wrapped): the GPU
+    emits structured events, a :class:`~repro.obs.Telemetry` is attached on
+    the bundle's registry/tracer, and run-level gauges are published at the
+    end.  The alone replays are never traced, so the recording describes
+    exactly one execution.  Tracing never changes simulation results (see
+    docs/observability.md).
     """
+    obs: Observation | None
+    if trace is None:
+        obs = None
+    elif isinstance(trace, Observation):
+        obs = trace
+    elif isinstance(trace, EventTracer):
+        obs = Observation(tracer=trace)
+    else:
+        raise TypeError(
+            f"trace must be an Observation or EventTracer, not {trace!r}"
+        )
     if profile_path is not None:
         import cProfile
 
@@ -174,14 +196,14 @@ def run_workload(
         try:
             return _run_workload(
                 apps, config, shared_cycles, sm_partition, models,
-                policy, warmup_intervals, alone_cache,
+                policy, warmup_intervals, alone_cache, obs,
             )
         finally:
             profiler.disable()
             profiler.dump_stats(profile_path)
     return _run_workload(
         apps, config, shared_cycles, sm_partition, models,
-        policy, warmup_intervals, alone_cache,
+        policy, warmup_intervals, alone_cache, obs,
     )
 
 
@@ -194,13 +216,15 @@ def _run_workload(
     policy,
     warmup_intervals: int,
     alone_cache: "AloneReplayCache | None",
+    obs: Observation | None = None,
 ) -> WorkloadResult:
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
     names, specs = zip(*(_resolve(a) for a in apps))
     kernels = [LaunchedKernel(s, restart=True, stream_id=i) for i, s in enumerate(specs)]
 
-    gpu = GPU(config, kernels, sm_partition)
+    gpu = GPU(config, kernels, sm_partition, obs=obs)
+    obs = gpu.obs  # picks up a process-wide recording when trace wasn't given
     initial_partition = gpu.sm_counts()
 
     estimators: dict[str, SlowdownEstimator] = {}
@@ -217,10 +241,26 @@ def _run_workload(
             raise ValueError(f"unknown model {model!r}")
     for est in estimators.values():
         est.attach(gpu)
+    telemetry: Telemetry | None = None
+    if obs is not None:
+        # Fold the interval view into the same recording: one Telemetry on
+        # the bundle's registry + tracer, attached after the estimators so
+        # its samples see this interval's estimates.
+        if obs.telemetry is None:
+            obs.telemetry = Telemetry(
+                estimators, registry=obs.registry, tracer=obs.tracer
+            )
+        telemetry = obs.telemetry
+        if not telemetry.estimators:
+            telemetry.estimators = estimators
+        telemetry.attach(gpu)
     if policy is not None:
         policy.attach(gpu)
 
     gpu.run(shared_cycles)
+    if obs is not None:
+        obs.finalize_run(gpu)
+        telemetry.detach()
     instructions = [p.instructions for p in gpu.progress]
     bandwidth = {n: gpu.bandwidth_utilization(i) for i, n in enumerate(names)}
     bandwidth["total"] = gpu.bandwidth_utilization()
@@ -236,7 +276,12 @@ def _run_workload(
         if cached is not None:
             alone_cycles.append(cached)
             continue
-        alone = GPU(config, [LaunchedKernel(spec, restart=True, stream_id=i)])
+        # obs=False: the alone replay never records, even under a
+        # process-wide recording — the trace describes the shared run only.
+        alone = GPU(
+            config, [LaunchedKernel(spec, restart=True, stream_id=i)],
+            obs=False,
+        )
         alone.run_until_instructions(
             0, instructions[i], max_cycles=max(4 * shared_cycles, 1_000_000)
         )

@@ -1,111 +1,26 @@
-"""Run telemetry: per-interval time series of everything observable.
+"""Deprecated location of :class:`Telemetry` — moved to ``repro.obs``.
 
-Attach a :class:`Telemetry` to a GPU and it records, per interval and per
-application, the counters, derived rates, estimator outputs, and the SM
-partition — the data behind every time-series plot one would make of a
-run.  Export as dicts or CSV text.
+Telemetry is the interval-granularity view of the observability layer and
+now lives in :mod:`repro.obs.telemetry` next to the metrics registry and
+event tracer it publishes into.  This shim keeps old imports working::
+
+    from repro.harness.telemetry import Telemetry   # still works, warns
+
+New code should import from :mod:`repro.obs` (or ``repro.harness``, which
+re-exports it without a warning).
 """
 
 from __future__ import annotations
 
-import io
-from dataclasses import dataclass, field
+import warnings
 
-from repro.core.base import SlowdownEstimator
-from repro.sim.gpu import GPU
-from repro.sim.stats import IntervalRecord
+from repro.obs.telemetry import Sample, Telemetry
 
+__all__ = ["Sample", "Telemetry"]
 
-@dataclass
-class Sample:
-    """One application's telemetry for one interval."""
-
-    cycle: int
-    app: int
-    ipc: float
-    alpha: float
-    requests_per_kcycle: float
-    bw_share: float
-    l2_hit_rate: float
-    erb_miss: int
-    ellc_miss: float
-    sm_count: int
-    estimates: dict[str, float | None] = field(default_factory=dict)
-
-
-class Telemetry:
-    """Interval-by-interval recorder for one GPU run."""
-
-    def __init__(self, estimators: dict[str, SlowdownEstimator] | None = None):
-        self.estimators = estimators or {}
-        self.samples: list[Sample] = []
-        self.gpu: GPU | None = None
-
-    def attach(self, gpu: GPU) -> None:
-        if self.gpu is not None:
-            raise RuntimeError("telemetry already attached")
-        self.gpu = gpu
-        # Attach after estimators so their latest() reflects this interval.
-        gpu.add_interval_listener(self._on_interval)
-
-    def _on_interval(self, records: list[IntervalRecord]) -> None:
-        cfg = self.gpu.config
-        for rec in records:
-            cycles = max(1, rec.cycles)
-            accesses = rec.mem.l2_hits + rec.mem.l2_misses
-            ests = {}
-            for name, est in self.estimators.items():
-                latest = est.latest()
-                ests[name] = latest[rec.app] if latest else None
-            self.samples.append(
-                Sample(
-                    cycle=rec.end,
-                    app=rec.app,
-                    ipc=rec.sm.instructions / cycles,
-                    alpha=rec.sm.alpha,
-                    requests_per_kcycle=rec.mem.requests_served / cycles * 1000,
-                    bw_share=rec.mem.data_bus_time
-                    / (cycles * cfg.n_partitions),
-                    l2_hit_rate=rec.mem.l2_hits / accesses if accesses else 0.0,
-                    erb_miss=rec.mem.erb_miss,
-                    ellc_miss=rec.ellc_miss,
-                    sm_count=rec.sm_count,
-                    estimates=ests,
-                )
-            )
-
-    # ------------------------------------------------------------- exports
-
-    def series(self, app: int, fieldname: str) -> list[float]:
-        """Time series of one field for one application."""
-        out = []
-        for s in self.samples:
-            if s.app != app:
-                continue
-            if fieldname in s.estimates:
-                out.append(s.estimates[fieldname])
-            else:
-                out.append(getattr(s, fieldname))
-        return out
-
-    def to_csv(self) -> str:
-        """All samples as CSV text (one row per app per interval)."""
-        buf = io.StringIO()
-        est_names = sorted(self.estimators)
-        header = [
-            "cycle", "app", "ipc", "alpha", "requests_per_kcycle",
-            "bw_share", "l2_hit_rate", "erb_miss", "ellc_miss", "sm_count",
-        ] + [f"est_{n}" for n in est_names]
-        buf.write(",".join(header) + "\n")
-        for s in self.samples:
-            row = [
-                str(s.cycle), str(s.app), f"{s.ipc:.4f}", f"{s.alpha:.4f}",
-                f"{s.requests_per_kcycle:.2f}", f"{s.bw_share:.4f}",
-                f"{s.l2_hit_rate:.4f}", str(s.erb_miss),
-                f"{s.ellc_miss:.1f}", str(s.sm_count),
-            ]
-            for n in est_names:
-                v = s.estimates.get(n)
-                row.append("" if v is None else f"{v:.4f}")
-            buf.write(",".join(row) + "\n")
-        return buf.getvalue()
+warnings.warn(
+    "repro.harness.telemetry has moved to repro.obs.telemetry; "
+    "import Telemetry/Sample from repro.obs (or repro.harness) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

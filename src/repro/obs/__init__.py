@@ -1,0 +1,118 @@
+"""repro.obs — observability for the simulator and harness.
+
+Three layers, one recording:
+
+* :class:`MetricsRegistry` — named hierarchical counters / gauges /
+  histograms, published at interval boundaries and run end;
+* :class:`EventTracer` — a bounded ring buffer of structured sim events
+  (DRAM request lifecycle, L2 probes, SM stalls, interconnect packets,
+  interval markers, SM migrations) exportable as Chrome ``trace_event``
+  JSON (Perfetto), CSV, or a self-contained HTML run report;
+* :class:`Telemetry` — the interval-granularity view (per-app IPC, α,
+  estimator outputs), folded into the same registry/tracer.
+
+Tracing is **off by default and free when off**: every instrumented hot
+path holds a direct ``self._trace`` reference resolved at construction
+time, so the disabled path is one ``is not None`` attribute check — no
+RNG draws, no counter perturbation, and bit-identical simulation results
+either way (enforced by ``tests/test_obs_golden.py`` and the CI
+``obs-overhead`` gate).
+
+Enable per run (preferred)::
+
+    from repro.obs import Observation
+    obs = Observation()
+    result = run_workload(["SD", "SB"], trace=obs)   # or GPU(..., obs=obs)
+    export_chrome_trace(obs.tracer, "trace.json")
+
+or process-wide for everything constructed afterwards::
+
+    import repro.obs
+    obs = repro.obs.enable()      # every new GPU records into this bundle
+    ...
+    repro.obs.disable()
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace_events,
+    events_csv,
+    export_chrome_trace,
+    export_events_csv,
+    to_chrome_trace,
+    trace_summary,
+)
+from repro.obs.inspect import inspect_path
+from repro.obs.progress import JsonlLogger, SweepProgress
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import export_html_report, render_html_report
+from repro.obs.telemetry import Sample, Telemetry
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    EventTracer,
+    Observation,
+    PID_ICNT_REPLY,
+    PID_ICNT_REQUEST,
+    PID_SIM,
+    TID_BANK_BASE,
+    TID_PART_BASE,
+    TID_SM_BASE,
+)
+
+#: Process-wide default recording; ``None`` = observability off (the
+#: zero-overhead path).  Managed through :func:`enable` / :func:`disable`;
+#: :class:`~repro.sim.gpu.GPU` reads it once at construction time.
+_DEFAULT: Observation | None = None
+
+
+def enable(obs: Observation | None = None) -> Observation:
+    """Install ``obs`` (or a fresh :class:`Observation`) as the process-wide
+    default recording for GPUs constructed afterwards; returns it."""
+    global _DEFAULT
+    _DEFAULT = obs or Observation()
+    return _DEFAULT
+
+
+def disable() -> None:
+    """Clear the process-wide default; new GPUs run unobserved (free)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def active() -> Observation | None:
+    """The process-wide default recording, or None when off."""
+    return _DEFAULT
+
+
+__all__ = [
+    "Observation",
+    "EventTracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "Sample",
+    "SweepProgress",
+    "JsonlLogger",
+    "enable",
+    "disable",
+    "active",
+    "DEFAULT_CAPACITY",
+    "PID_SIM",
+    "PID_ICNT_REQUEST",
+    "PID_ICNT_REPLY",
+    "TID_SM_BASE",
+    "TID_PART_BASE",
+    "TID_BANK_BASE",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "events_csv",
+    "export_events_csv",
+    "trace_summary",
+    "render_html_report",
+    "export_html_report",
+    "inspect_path",
+]

@@ -1,0 +1,158 @@
+"""Run inspection: summarize a recorded run without re-simulating.
+
+``repro trace`` writes a ``run.json`` manifest next to its exports (the
+workload result, the metrics-registry snapshot, and a trace digest).
+:func:`inspect_path` renders a human-readable summary of
+
+* a ``run.json`` manifest (or a directory containing one), or
+* a raw Chrome trace JSON (``{"traceEvents": [...]}``),
+
+so a recording can be triaged from the terminal before opening Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Iterable, Sequence
+
+RUN_SCHEMA = "repro.obs.run/1"
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    rows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def summarize_run(manifest: dict[str, Any]) -> str:
+    """Summary of a ``run.json`` manifest."""
+    out: list[str] = []
+    wl = manifest.get("workload") or {}
+    if wl:
+        names = wl.get("names", [])
+        slowdowns = wl.get("actual_slowdowns", [])
+        parts = wl.get("sm_partition", [])
+        estimates = wl.get("estimates", {})
+        models = sorted(estimates)
+        rows = []
+        for i, name in enumerate(names):
+            row = [
+                name,
+                parts[i] if i < len(parts) else "-",
+                f"{slowdowns[i]:.3f}" if i < len(slowdowns) else "-",
+            ]
+            for m in models:
+                e = estimates[m][i]
+                row.append("-" if e is None else f"{e:.3f}")
+            rows.append(row)
+        out.append("workload: " + "+".join(names))
+        out.append(
+            _table(["app", "SMs", "actual"] + models, rows)
+        )
+        out.append(f"shared cycles: {wl.get('shared_cycles')}")
+    trace = manifest.get("trace") or {}
+    if trace:
+        out.append("")
+        out.append(
+            f"trace: {trace.get('events_emitted', 0)} events emitted, "
+            f"{trace.get('events_retained', 0)} retained, "
+            f"{trace.get('events_dropped', 0)} dropped "
+            f"(capacity {trace.get('capacity', '?')})"
+        )
+        span = trace.get("span_cycles")
+        if span:
+            out.append(f"span: cycles {span[0]} .. {span[1]}")
+        by_name = trace.get("by_name") or {}
+        if by_name:
+            out.append(_table(
+                ["event", "retained"],
+                sorted(by_name.items(), key=lambda kv: -kv[1]),
+            ))
+        engine = trace.get("engine") or {}
+        if engine.get("events_dispatched"):
+            out.append(
+                f"engine: {engine['events_dispatched']} events dispatched, "
+                f"largest cycle bucket {engine.get('max_bucket', 0)}"
+            )
+    metrics = manifest.get("metrics") or {}
+    if metrics:
+        rows = []
+        for name, snap in sorted(metrics.items()):
+            if snap.get("type") == "histogram":
+                val = f"count={snap['count']} mean={snap['mean']:.4g}"
+            else:
+                v = snap.get("value", 0)
+                val = f"{v:.6g}" if isinstance(v, float) else str(v)
+            rows.append([name, snap.get("type", "?"), val])
+        out.append("")
+        out.append(_table(["metric", "type", "value"], rows))
+    files = manifest.get("files") or {}
+    if files:
+        out.append("")
+        out.append("exports: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(files.items())
+        ))
+    return "\n".join(out)
+
+
+def summarize_chrome(payload: dict[str, Any]) -> str:
+    """Summary of a raw Chrome ``trace_event`` JSON payload."""
+    events = payload.get("traceEvents", [])
+    by_name: dict[str, int] = {}
+    by_phase: dict[str, int] = {}
+    pids: set[int] = set()
+    t_lo, t_hi = None, 0.0
+    for ev in events:
+        ph = ev.get("ph", "?")
+        by_phase[ph] = by_phase.get(ph, 0) + 1
+        if ph == "M":
+            continue
+        name = ev.get("name", "?")
+        by_name[name] = by_name.get(name, 0) + 1
+        pids.add(ev.get("pid", 0))
+        ts = float(ev.get("ts", 0.0)) + float(ev.get("dur", 0.0))
+        t_lo = ts if t_lo is None else min(t_lo, float(ev.get("ts", 0.0)))
+        t_hi = max(t_hi, ts)
+    out = [
+        f"chrome trace: {len(events)} entries "
+        f"({by_phase.get('M', 0)} metadata), {len(pids)} processes, "
+        f"span {t_lo or 0:.0f} .. {t_hi:.0f} us",
+        _table(
+            ["event", "count"],
+            sorted(by_name.items(), key=lambda kv: -kv[1]),
+        ),
+    ]
+    other = payload.get("otherData") or {}
+    if other.get("events_dropped"):
+        out.append(f"dropped at record time: {other['events_dropped']}")
+    return "\n".join(out)
+
+
+def inspect_path(path: str) -> str:
+    """Dispatch on what ``path`` holds; raises ValueError when unrecognized."""
+    p = pathlib.Path(path)
+    if p.is_dir():
+        manifest = p / "run.json"
+        if not manifest.is_file():
+            raise ValueError(f"no run.json found under {p}")
+        p = manifest
+    with p.open() as fh:
+        payload = json.load(fh)
+    if isinstance(payload, dict) and payload.get("schema") == RUN_SCHEMA:
+        return summarize_run(payload)
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return summarize_chrome(payload)
+    raise ValueError(
+        f"{p} is neither a repro run manifest ({RUN_SCHEMA}) nor a Chrome "
+        "trace"
+    )

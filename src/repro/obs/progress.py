@@ -1,0 +1,154 @@
+"""Live progress + structured logging for harness sweeps.
+
+:class:`SweepProgress` is the reporter :func:`repro.harness.parallel.run_jobs`
+drives as jobs complete: a single updating status line (job count, jobs/sec,
+ETA, alone-replay cache hit stats, failures) on a TTY, or one plain line per
+job otherwise, plus an optional JSON-lines structured log so long sweeps can
+be analysed after the fact (one record per job with key, duration, outcome,
+and cache counters).
+
+The reporter is deliberately decoupled from the pool: it only consumes
+:class:`~repro.harness.parallel.JobOutcome` objects, so inline and pooled
+sweeps report identically and tests can drive it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.harness.parallel import JobOutcome
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class SweepProgress:
+    """Progress reporter for one sweep of ``total`` workload jobs."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: IO[str] | None = None,
+        label: str = "sweep",
+        jsonl: IO[str] | None = None,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.jsonl = jsonl
+        self.done = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.busy_seconds = 0.0
+        self._t0 = time.perf_counter()
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._closed = False
+
+    # ------------------------------------------------------------- protocol
+
+    def job_done(self, outcome: "JobOutcome") -> None:
+        """Record one completed job and refresh the status line."""
+        self.done += 1
+        self.busy_seconds += outcome.duration_s
+        if not outcome.ok:
+            self.failed += 1
+        cache = outcome.cache or {}
+        self.cache_hits += cache.get("hits", 0)
+        self.cache_misses += cache.get("misses", 0)
+        self._emit_line(outcome)
+        if self.jsonl is not None:
+            self._emit_json(outcome)
+
+    def close(self) -> None:
+        """Finish the status line and print the sweep summary."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tty:
+            self.stream.write("\n")
+        elapsed = time.perf_counter() - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        self.stream.write(
+            f"{self.label}: {self.done}/{self.total} jobs in "
+            f"{elapsed:.1f}s ({rate:.2f} jobs/s), {self.failed} failed, "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses\n"
+        )
+        self.stream.flush()
+
+    # ------------------------------------------------------------ rendering
+
+    def _status(self, outcome: "JobOutcome") -> str:
+        elapsed = time.perf_counter() - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = (self.total - self.done) / rate if rate > 0 else 0.0
+        bits = [
+            f"[{self.done}/{self.total}]",
+            outcome.job.key,
+            "ok" if outcome.ok else "FAIL",
+            f"{outcome.duration_s:.1f}s",
+            f"{rate:.2f} jobs/s",
+            f"eta {_fmt_eta(remaining)}",
+        ]
+        if self.cache_hits or self.cache_misses:
+            bits.append(f"cache {self.cache_hits}h/{self.cache_misses}m")
+        if self.failed:
+            bits.append(f"{self.failed} failed")
+        return " | ".join(bits)
+
+    def _emit_line(self, outcome: "JobOutcome") -> None:
+        line = self._status(outcome)
+        if self._tty:
+            # Single self-overwriting status line; pad to clear leftovers.
+            self.stream.write("\r" + line.ljust(78)[:120])
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def _emit_json(self, outcome: "JobOutcome") -> None:
+        record = {
+            "event": "job_done",
+            "ts": time.time(),
+            "index": outcome.index,
+            "key": outcome.job.key,
+            "ok": outcome.ok,
+            "duration_s": round(outcome.duration_s, 4),
+            "done": self.done,
+            "total": self.total,
+            "cache": outcome.cache,
+        }
+        if not outcome.ok:
+            record["error"] = (outcome.error or "").strip().splitlines()[-1:]
+        self.jsonl.write(json.dumps(record, sort_keys=True) + "\n")
+        self.jsonl.flush()
+
+
+class JsonlLogger:
+    """Owns a JSONL log file and builds SweepProgress reporters over it."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = None
+
+    def open(self) -> IO[str]:
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        return self._fh
+
+    def reporter(self, total: int, **kw) -> SweepProgress:
+        return SweepProgress(total, jsonl=self.open(), **kw)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -1,0 +1,447 @@
+"""Self-contained HTML run report.
+
+One file, no external assets, no JavaScript: inline SVG time-series charts
+(per-app IPC, α, slowdown estimates per model vs the measured slowdown,
+SM-partition timeline), a DRAM bank-heat matrix, the event taxonomy, and a
+plain table view of every series.  Light and dark mode are both styled via
+CSS custom properties (the dark values are selected steps of the same
+hues, not an automatic flip).
+
+Charts follow the repo's charting conventions: one categorical hue per
+*application* in fixed slot order everywhere (an app keeps its color
+across every chart; models are distinguished by small multiples, not
+hues), a single y axis per chart, thin 2px lines with hoverable sample
+markers, recessive grid, legends plus direct end-labels, and a sequential
+one-hue ramp for the bank-heat magnitudes.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import os
+from string import Template
+from typing import TYPE_CHECKING, Sequence
+
+from repro.obs.export import bank_heat, trace_summary
+from repro.obs.tracer import EventTracer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.harness.runner import WorkloadResult
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.telemetry import Telemetry
+
+# Categorical app colors — fixed slot order, light / dark steps of the same
+# hues (validated order: adjacent pairs clear CVD and normal-vision gates).
+_APP_COLORS_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100")
+_APP_COLORS_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500")
+
+# Sequential blue ramp (light→dark) for the bank-heat magnitudes.
+_SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_W, _H = 640, 230
+_ML, _MR, _MT, _MB = 52, 110, 14, 30  # right margin hosts direct labels
+
+
+def _esc(s: object) -> str:
+    return _html.escape(str(s))
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.3g}" if abs(v) >= 0.01 else f"{v:.2e}"
+
+
+def _ticks(lo: float, hi: float, n: int = 4) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / n
+    return [lo + i * step for i in range(n + 1)]
+
+
+def _line_chart(
+    title: str,
+    series: Sequence[dict],
+    y_label: str = "",
+    x_label: str = "cycle",
+) -> str:
+    """One SVG line chart.
+
+    ``series``: dicts with ``label``, ``slot`` (app color slot), ``points``
+    (list of (x, y)), optional ``dash`` (True → dashed reference series).
+    """
+    pts_all = [p for s in series for p in s["points"]]
+    if not pts_all:
+        return ""
+    xs = [p[0] for p in pts_all]
+    ys = [p[1] for p in pts_all]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if y1 <= y0:
+        y1 = y0 + 1.0
+    pad = 0.08 * (y1 - y0)
+    y0 = min(y0, 0.0) if y0 >= 0 and y0 < 0.25 * y1 else y0 - pad
+    y1 = y1 + pad
+    if x1 <= x0:
+        x1 = x0 + 1
+    iw = _W - _ML - _MR
+    ih = _H - _MT - _MB
+
+    def sx(x: float) -> float:
+        return _ML + (x - x0) / (x1 - x0) * iw
+
+    def sy(y: float) -> float:
+        return _MT + ih - (y - y0) / (y1 - y0) * ih
+
+    parts = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="{_esc(title)}">'
+    ]
+    # Recessive grid + y ticks.
+    for ty in _ticks(y0, y1):
+        gy = sy(ty)
+        parts.append(
+            f'<line x1="{_ML}" y1="{gy:.1f}" x2="{_W - _MR}" y2="{gy:.1f}" '
+            f'class="grid"/>'
+            f'<text x="{_ML - 6}" y="{gy + 3.5:.1f}" class="tick" '
+            f'text-anchor="end">{_fmt(ty)}</text>'
+        )
+    for tx in _ticks(x0, x1):
+        gx = sx(tx)
+        parts.append(
+            f'<text x="{gx:.1f}" y="{_H - 8}" class="tick" '
+            f'text-anchor="middle">{_fmt(tx)}</text>'
+        )
+    parts.append(
+        f'<line x1="{_ML}" y1="{_MT + ih}" x2="{_W - _MR}" '
+        f'y2="{_MT + ih}" class="axis"/>'
+    )
+    # Series lines, markers, direct end-labels (nudged apart).
+    ends: list[tuple[float, int]] = []
+    for i, s in enumerate(series):
+        pts = s["points"]
+        if not pts:
+            continue
+        color = f"var(--series-{s['slot'] % len(_APP_COLORS_LIGHT) + 1})"
+        dash = ' stroke-dasharray="5 4"' if s.get("dash") else ""
+        poly = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{poly}" fill="none" stroke="{color}" '
+            f'stroke-width="2"{dash}/>'
+        )
+        if not s.get("dash"):
+            for x, y in pts:
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.6" '
+                    f'fill="{color}"><title>{_esc(s["label"])} @ '
+                    f'{_fmt(x)}: {_fmt(y)}</title></circle>'
+                )
+        ends.append((sy(pts[-1][1]), i))
+    ends.sort()
+    prev = -1e9
+    for ey, i in ends:
+        s = series[i]
+        ly = max(ey, prev + 12)
+        prev = ly
+        parts.append(
+            f'<text x="{_W - _MR + 6}" y="{ly + 3.5:.1f}" '
+            f'class="dlabel">{_esc(s["label"])}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="{_ML}" y="{_MT - 2}" class="tick">{_esc(y_label)}'
+            "</text>"
+        )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class="chip"><span class="swatch" style="background:'
+        f'var(--series-{s["slot"] % len(_APP_COLORS_LIGHT) + 1})'
+        f'{";border-radius:0;height:2px;margin-bottom:4px" if s.get("dash") else ""}'
+        f'"></span>{_esc(s["label"])}</span>'
+        for s in series
+        if s["points"]
+    )
+    return (
+        f'<figure><figcaption>{_esc(title)}</figcaption>'
+        f"{''.join(parts)}<div class=\"legend\">{legend}</div></figure>"
+    )
+
+
+def _summary_table(result: "WorkloadResult") -> str:
+    models = sorted(result.estimates)
+    head = "".join(
+        f"<th>{_esc(h)}</th>"
+        for h in ["app", "SMs", "actual slowdown"] + [f"{m} est." for m in models]
+    )
+    rows = []
+    for i, name in enumerate(result.names):
+        cells = [
+            f"<td>{_esc(name)}</td>",
+            f"<td>{result.sm_partition[i]}</td>",
+            f"<td>{result.actual_slowdowns[i]:.3f}</td>",
+        ]
+        for m in models:
+            e = result.estimates[m][i]
+            cells.append(f"<td>{'—' if e is None else f'{e:.3f}'}</td>")
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        f"<p class='note'>shared window {result.shared_cycles} cycles · "
+        f"unfairness {result.actual_unfairness:.3f} · harmonic speedup "
+        f"{result.actual_hspeedup:.4f}</p>"
+    )
+
+
+def _bank_heat_section(tracer: EventTracer) -> str:
+    heat = bank_heat(tracer)
+    if not heat:
+        return ""
+    n_parts = max(p for p, _ in heat) + 1
+    n_banks = max(b for _, b in heat) + 1
+    peak = max(heat.values())
+    rows = []
+    for p in range(n_parts):
+        cells = [f'<th scope="row">part{p}</th>']
+        for b in range(n_banks):
+            v = heat.get((p, b), 0)
+            idx = 0 if peak == 0 else round(v / peak * (len(_SEQ_RAMP) - 1))
+            fg = "#ffffff" if idx >= 7 else "#0b0b0b"
+            cells.append(
+                f'<td style="background:{_SEQ_RAMP[idx]};color:{fg}" '
+                f'title="part{p}/bank{b}: {v} requests">{v}</td>'
+            )
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    head = "<th></th>" + "".join(f"<th>b{b}</th>" for b in range(n_banks))
+    note = (
+        "serviced DRAM requests per (partition, bank) — from the "
+        "<code>dram.service</code> events retained in the trace ring"
+    )
+    if tracer.dropped:
+        note += f" ({tracer.dropped} oldest events overwritten)"
+    return (
+        "<h2>DRAM bank heat</h2>"
+        f'<table class="heat"><thead><tr>{head}</tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        f"<p class='note'>{note}</p>"
+    )
+
+
+def _taxonomy_section(tracer: EventTracer) -> str:
+    summary = trace_summary(tracer)
+    rows = "".join(
+        f"<tr><td><code>{_esc(n)}</code></td><td>{c}</td></tr>"
+        for n, c in summary["by_name"].items()
+    )
+    return (
+        "<h2>Recorded events</h2>"
+        "<table><thead><tr><th>event</th><th>retained</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+        f"<p class='note'>{summary['events_emitted']} emitted · "
+        f"{summary['events_retained']} retained · "
+        f"{summary['events_dropped']} dropped (ring capacity "
+        f"{summary['capacity']}) · engine dispatched "
+        f"{summary['engine']['events_dispatched']} events</p>"
+    )
+
+
+def _table_view(telemetry: "Telemetry") -> str:
+    """Accessible table view of every plotted series."""
+    csv_text = telemetry.to_csv()
+    lines = csv_text.strip().splitlines()
+    if len(lines) < 2:
+        return ""
+    head = "".join(f"<th>{_esc(c)}</th>" for c in lines[0].split(","))
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in ln.split(",")) + "</tr>"
+        for ln in lines[1:]
+    )
+    return (
+        "<details><summary>Table view (all interval samples)</summary>"
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+        "</details>"
+    )
+
+
+_PAGE = Template("""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>${title}</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e8e7e3;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #383835;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+body { margin: 0; }
+.viz-root {
+  background: var(--surface-1); color: var(--text-primary);
+  font: 14px/1.45 system-ui, sans-serif;
+  max-width: 880px; margin: 0 auto; padding: 24px 16px 64px;
+}
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }
+figure { margin: 20px 0 8px; }
+figcaption { font-weight: 600; margin-bottom: 6px; }
+svg { width: 100%; height: auto; display: block; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--text-secondary); stroke-width: 1; }
+svg .tick { fill: var(--text-secondary); font-size: 10px; }
+svg .dlabel { fill: var(--text-secondary); font-size: 11px; }
+.legend { display: flex; gap: 14px; flex-wrap: wrap; margin-top: 4px;
+  color: var(--text-secondary); font-size: 12px; }
+.chip { display: inline-flex; align-items: center; gap: 5px; }
+.swatch { width: 10px; height: 10px; border-radius: 3px;
+  display: inline-block; }
+table { border-collapse: collapse; margin: 8px 0; font-size: 13px; }
+th, td { padding: 3px 10px; text-align: right;
+  border-bottom: 1px solid var(--grid); }
+th:first-child, td:first-child { text-align: left; }
+table.heat td { text-align: center; padding: 3px 6px; min-width: 30px; }
+.note { color: var(--text-secondary); font-size: 12px; }
+code { font-size: 12px; }
+details summary { cursor: pointer; margin-top: 20px;
+  color: var(--text-secondary); }
+</style>
+</head>
+<body><div class="viz-root">
+<h1>${title}</h1>
+<p class="note">${subtitle}</p>
+${body}
+</div></body>
+</html>
+""")
+
+
+def render_html_report(
+    result: "WorkloadResult | None" = None,
+    telemetry: "Telemetry | None" = None,
+    tracer: EventTracer | None = None,
+    registry: "MetricsRegistry | None" = None,
+    title: str = "repro run report",
+) -> str:
+    """Build the full report; every argument is optional and independent."""
+    body: list[str] = []
+    app_names: list[str] = []
+    if result is not None:
+        app_names = list(result.names)
+        body.append("<h2>Run summary</h2>")
+        body.append(_summary_table(result))
+    elif tracer is not None:
+        app_names = list(tracer.topology.get("app_names", []))
+
+    if telemetry is not None and telemetry.samples:
+        apps = sorted({s.app for s in telemetry.samples})
+
+        def label(a: int) -> str:
+            return app_names[a] if a < len(app_names) else f"app{a}"
+
+        def app_series(fieldname: str) -> list[dict]:
+            return [
+                {
+                    "label": label(a),
+                    "slot": a,
+                    "points": list(
+                        zip(telemetry.cycles_of(a), telemetry.series(a, fieldname))
+                    ),
+                }
+                for a in apps
+            ]
+
+        body.append("<h2>Per-application time series</h2>")
+        body.append(_line_chart("IPC per interval", app_series("ipc"),
+                                y_label="IPC"))
+        body.append(_line_chart(
+            "Memory-stall fraction α", app_series("alpha"), y_label="α"))
+        est_names = sorted(telemetry.estimators)
+        if est_names:
+            body.append("<h2>Slowdown estimates (solid) vs measured "
+                        "slowdown (dashed)</h2>")
+        for model in est_names:
+            series: list[dict] = []
+            for a in apps:
+                pts = [
+                    (c, v)
+                    for c, v in zip(
+                        telemetry.cycles_of(a), telemetry.series(a, model)
+                    )
+                    if v is not None
+                ]
+                series.append(
+                    {"label": label(a), "slot": a, "points": pts}
+                )
+                if result is not None and pts:
+                    actual = result.actual_slowdowns[a]
+                    series.append({
+                        "label": f"{label(a)} actual",
+                        "slot": a,
+                        "dash": True,
+                        "points": [
+                            (pts[0][0], actual), (pts[-1][0], actual)
+                        ],
+                    })
+            body.append(_line_chart(
+                f"{model} slowdown estimate", series, y_label="slowdown"))
+        body.append(_line_chart(
+            "SM partition timeline", app_series("sm_count"), y_label="SMs"))
+
+    if tracer is not None:
+        body.append(_bank_heat_section(tracer))
+        body.append(_taxonomy_section(tracer))
+
+    if registry is not None and len(registry):
+        rows = "".join(
+            f"<tr><td><code>{_esc(n)}</code></td><td>{_esc(inst.kind)}</td>"
+            f"<td>{_fmt(inst.value) if hasattr(inst, 'value') else _fmt(inst.mean)}"
+            "</td></tr>"
+            for n, inst in sorted(registry.subtree("run").items())
+        )
+        if rows:
+            body.append(
+                "<h2>Run metrics</h2>"
+                "<table><thead><tr><th>metric</th><th>type</th>"
+                f"<th>value</th></tr></thead><tbody>{rows}</tbody></table>"
+            )
+
+    if telemetry is not None and telemetry.samples:
+        body.append(_table_view(telemetry))
+
+    subtitle = "generated by repro.obs — interval telemetry + event trace"
+    if result is not None:
+        subtitle = (
+            " + ".join(_esc(n) for n in result.names) + " · " + subtitle
+        )
+    return _PAGE.substitute(
+        title=_esc(title), subtitle=subtitle, body="\n".join(body)
+    )
+
+
+def export_html_report(path: str | os.PathLike, **kw) -> str:
+    html = render_html_report(**kw)
+    with open(path, "w") as fh:
+        fh.write(html)
+    return html

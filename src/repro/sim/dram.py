@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.config import GPUConfig
+from repro.obs.tracer import TID_BANK_BASE, TID_PART_BASE
 from repro.sim.address import DecodedAddress
 from repro.sim.atd import AuxTagDirectory
 from repro.sim.cache import CacheStats, SetAssocCache
@@ -64,12 +65,19 @@ class MemoryPartition:
         partition_id: int,
         n_apps: int,
         stats: MemoryStats,
+        tracer=None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.pid = partition_id
         self.n_apps = n_apps
         self.stats = stats
+        # Observability (repro.obs.EventTracer or None): the disabled path
+        # is one attribute check per instrumented site.  Thread-id tracks
+        # are precomputed so the enabled path does no arithmetic chains.
+        self._trace = tracer
+        self._part_tid = TID_PART_BASE + partition_id
+        self._bank_tid_base = TID_BANK_BASE + partition_id * config.n_banks
 
         self.l2 = SetAssocCache(config.l2)
         self.atds = [
@@ -160,6 +168,10 @@ class MemoryPartition:
         atd = self.atds[app]
         if cache_set in atd._sampled:  # most sets are unsampled: skip call
             atd.observe(cache_set, tag, hit)
+        if self._trace is not None:
+            self._trace.instant(
+                "l2.probe", now, app, self._part_tid, {"hit": 1 if hit else 0}
+            )
         l2_latency = self._l2_latency
         if hit:
             mem.l2_hits += 1
@@ -205,6 +217,11 @@ class MemoryPartition:
         self.bank_queues[bank].append(req)
         self._queued_per_app[bank][req.app] += 1
         self._queued_total += 1
+        if self._trace is not None:
+            self._trace.instant(
+                "dram.enqueue", self.engine.now, req.app, self._part_tid,
+                {"bank": bank},
+            )
         if not self.bank_busy[bank]:
             pending = self._pending_banks
             if not pending:
@@ -364,9 +381,11 @@ class MemoryPartition:
         if self.bank_open_row[bank] == row:
             mem.row_hits += 1
             latency = self._t_hit
+            row_hit = True
         else:
             mem.row_misses += 1
             latency = self._t_miss
+            row_hit = False
             # tFAW: the activation may have to wait for the four-activate
             # window to roll past.
             activates = self._activates
@@ -404,6 +423,13 @@ class MemoryPartition:
             self.busy_time += now - self._busy_last
         self._busy_last = now
         self._busy_active += 1
+        if self._trace is not None:
+            self._trace.complete(
+                "dram.service", now, completion - now, app,
+                self._bank_tid_base + bank,
+                {"row_hit": 1 if row_hit else 0, "part": self.pid,
+                 "bank": bank},
+            )
         self._schedule(completion - now, self._complete_cb, req)
 
     def _busy_advance(self, now: int) -> None:
@@ -432,6 +458,10 @@ class MemoryPartition:
         d[bank] = v - 1
         stats.apps[app].requests_served += 1
         self.bank_busy[bank] = False
+        if self._trace is not None:
+            self._trace.instant(
+                "dram.reply", completion, app, self._part_tid, {"bank": bank}
+            )
         req.callback(completion)
         self._req_pool.append(req)  # last use: recycle
         if self.bank_queues[bank]:

@@ -39,9 +39,10 @@ class Engine:
     lambda; ``schedule(delay, fn)`` runs ``fn()`` as before.
     """
 
-    __slots__ = ("now", "_heap", "_buckets", "_bucket_get", "_stopped")
+    __slots__ = ("now", "_heap", "_buckets", "_bucket_get", "_stopped",
+                 "_trace")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Any = None) -> None:
         self.now: int = 0
         self._heap: list[int] = []  # distinct cycles with pending events
         # Flat per-cycle FIFOs: [cb0, arg0, cb1, arg1, ...].  Interleaving
@@ -50,6 +51,12 @@ class Engine:
         self._buckets: dict[int, list] = {}
         self._bucket_get = self._buckets.get  # pre-bound: hottest lookup
         self._stopped = False
+        # Observability hook (repro.obs.EventTracer or None).  The run loop
+        # checks it ONCE per run() call — the disabled dispatch path is
+        # byte-for-byte the pre-observability loop, so tracing costs nothing
+        # when off.  The traced loop only bumps tracer-side counters; it
+        # never perturbs event order or simulator state.
+        self._trace = tracer
 
     def schedule(
         self, delay: int, callback: Callable, arg: Any = _NO_ARG
@@ -89,6 +96,8 @@ class Engine:
         advanced to exactly ``until`` even if the queue drained earlier, so
         callers can account wall-clock-style statistics over a fixed window.
         """
+        if self._trace is not None:
+            return self._run_traced(until)
         self._stopped = False
         heap = self._heap
         buckets = self._buckets
@@ -137,6 +146,58 @@ class Engine:
                         # Stopped mid-cycle: the iterator holds exactly the
                         # unprocessed tail.  Requeue it *ahead of* any
                         # same-cycle events scheduled while draining.
+                        leftover = list(it)
+                        if leftover:
+                            appended = buckets.get(cycle)
+                            if appended is not None:
+                                leftover.extend(appended)
+                            else:
+                                heappush(heap, cycle)
+                            buckets[cycle] = leftover
+                        break
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def _run_traced(self, until: int | None = None) -> int:
+        """The run loop with dispatch accounting for an attached tracer.
+
+        Identical firing order and stop semantics to :meth:`run` — the only
+        additions are the per-bucket ``engine_events``/``engine_max_bucket``
+        updates on the tracer (the general ``zip`` drain handles singleton
+        buckets too, so the fast path isn't duplicated here).
+        """
+        trace = self._trace
+        self._stopped = False
+        heap = self._heap
+        buckets = self._buckets
+        no_arg = _NO_ARG
+        limit = until if until is not None else None
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap and not self._stopped:
+                cycle = heap[0]
+                if limit is not None and cycle > limit:
+                    break
+                self.now = cycle
+                heappop(heap)
+                bucket = buckets.pop(cycle)
+                n_events = len(bucket) >> 1
+                trace.engine_events += n_events
+                if n_events > trace.engine_max_bucket:
+                    trace.engine_max_bucket = n_events
+                it = iter(bucket)
+                for callback, arg in zip(it, it):
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+                    if self._stopped:
                         leftover = list(it)
                         if leftover:
                             appended = buckets.get(cycle)

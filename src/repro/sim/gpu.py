@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import repro.obs as _obs
 from repro.config import GPUConfig
+from repro.obs.tracer import PID_SIM, Observation
 from repro.sim.address import AddressMapper
 from repro.sim.dram import MemoryPartition
 from repro.sim.engine import Engine
@@ -90,11 +92,19 @@ class GPU:
         config: GPUConfig,
         kernels: Sequence[LaunchedKernel | KernelSpec],
         sm_partition: Sequence[int] | None = None,
+        obs: "Observation | bool | None" = None,
     ) -> None:
         """``sm_partition[i]`` = number of SMs initially owned by app ``i``.
 
         Defaults to the paper's even split.  The partition must sum to at
         most ``config.n_sms``; leftover SMs stay idle.
+
+        ``obs``: an :class:`repro.obs.Observation` to record this run into;
+        defaults to the process-wide recording (``repro.obs.enable()``), or
+        no observability at all — the free path — when neither is set.
+        ``obs=False`` forces observability off even when a process-wide
+        recording is active (alone replays use this so the shared run's
+        trace stays pure).
         """
         self.config = config
         self.kernels = [
@@ -115,24 +125,44 @@ class GPU:
         if sum(sm_partition) > config.n_sms:
             raise ValueError("sm_partition exceeds available SMs")
 
-        self.engine = Engine()
+        # Observability: resolved once, here — every component stores its own
+        # direct tracer reference (or None), so the disabled hot path is a
+        # single attribute check and the simulation is bit-identical.
+        if obs is None:
+            obs = _obs.active()
+        elif obs is False:
+            obs = None
+        self.obs = obs
+        tracer = obs.tracer if obs is not None else None
+        self._trace = tracer
+
+        self.engine = Engine(tracer)
         self.mapper = AddressMapper(config)
         self._decode = self.mapper.decode  # pre-bound: one lookup per access
         self.mem_stats = MemoryStats(n_apps)
         self.partitions = [
-            MemoryPartition(self.engine, config, p, n_apps, self.mem_stats)
+            MemoryPartition(self.engine, config, p, n_apps, self.mem_stats,
+                            tracer)
             for p in range(config.n_partitions)
         ]
         self.sms = [SM(self.engine, config, i, self) for i in range(config.n_sms)]
         # One crossbar per direction (Table 2): SM→partition and back.
         self.xbar_request = Crossbar(
             self.engine, config.n_partitions, config.icnt_latency,
-            config.icnt_packet_cycles,
+            config.icnt_packet_cycles, tracer, _obs.PID_ICNT_REQUEST,
         )
         self.xbar_reply = Crossbar(
             self.engine, config.n_sms, config.icnt_latency,
-            config.icnt_packet_cycles,
+            config.icnt_packet_cycles, tracer, _obs.PID_ICNT_REPLY,
         )
+        if tracer is not None:
+            tracer.set_topology(
+                n_apps=n_apps,
+                n_sms=config.n_sms,
+                n_partitions=config.n_partitions,
+                n_banks=config.n_banks,
+                app_names=[k.spec.name for k in self.kernels],
+            )
         # Cached bound methods for the per-request path.
         self._xbar_req_send = self.xbar_request.send
         self._xbar_reply_send = self.xbar_reply.send
@@ -248,6 +278,10 @@ class GPU:
     def add_interval_listener(self, listener: IntervalListener) -> None:
         self._interval_listeners.append(listener)
 
+    def remove_interval_listener(self, listener: IntervalListener) -> None:
+        """Detach a listener added with :meth:`add_interval_listener`."""
+        self._interval_listeners.remove(listener)
+
     def _account_sm_time(self, now: int) -> None:
         dt = now - self._sm_time_last
         if dt <= 0:
@@ -297,6 +331,11 @@ class GPU:
                 atd.reset_counters()
         self._last_interval_end = now
         self.interval_history.append(records)
+        if self._trace is not None:
+            self._trace.instant(
+                "interval", now, PID_SIM, 0,
+                {"index": len(self.interval_history) - 1},
+            )
         for listener in self._interval_listeners:
             listener(records)
         self.engine.schedule(self.config.interval_cycles, self._interval_tick)
@@ -368,11 +407,21 @@ class GPU:
 
         def on_drained(sm: SM) -> None:
             self._account_sm_time(self.engine.now)
+            if self._trace is not None:
+                self._trace.instant(
+                    "sm.drained", self.engine.now, PID_SIM, sm.sm_id,
+                    {"sm": sm.sm_id, "to": to_app},
+                )
             sm.assign_app(to_app)
             now_fill(sm)
 
         for sm in donors[:count]:
             self._account_sm_time(self.engine.now)
+            if self._trace is not None:
+                self._trace.instant(
+                    "sm.migrate", self.engine.now, PID_SIM, sm.sm_id,
+                    {"sm": sm.sm_id, "from": from_app, "to": to_app},
+                )
             sm.start_draining(on_drained)
 
     # ------------------------------------------------------------- readouts

@@ -62,11 +62,12 @@ class Crossbar:
 
     __slots__ = (
         "engine", "_schedule", "latency", "packet_cycles",
-        "_free_at", "_packets", "_busy_time",
+        "_free_at", "_packets", "_busy_time", "_trace", "_trace_pid",
     )
 
     def __init__(
-        self, engine: Engine, n_ports: int, latency: int, packet_cycles: int
+        self, engine: Engine, n_ports: int, latency: int, packet_cycles: int,
+        tracer: Any = None, trace_pid: int = 0,
     ) -> None:
         if n_ports < 1:
             raise ValueError("need at least one port")
@@ -77,6 +78,11 @@ class Crossbar:
         self._free_at = [0] * n_ports
         self._packets = [0] * n_ports
         self._busy_time = [0] * n_ports
+        # Observability (repro.obs.EventTracer or None); ``trace_pid`` names
+        # this crossbar's direction in the exported trace.  Disabled path is
+        # one attribute check in :meth:`send`.
+        self._trace = tracer
+        self._trace_pid = trace_pid
 
     def send(self, port: int, deliver: Callable, arg: Any = _NO_ARG) -> int:
         """Enqueue one packet on ``port``; same contract as
@@ -90,6 +96,11 @@ class Crossbar:
         self._packets[port] += 1
         self._busy_time[port] += packet_cycles
         arrival = free_at + self.latency
+        if self._trace is not None:
+            # The slice covers port occupancy (serialization), not wire time.
+            self._trace.complete(
+                "icnt.pkt", start, packet_cycles, self._trace_pid, port
+            )
         self._schedule(arrival - now, deliver, arg)
         return arrival
 

@@ -74,6 +74,9 @@ class SM:
         self.config = config
         self.sm_id = sm_id
         self.gpu = gpu
+        # Direct tracer reference (or None): the GPU resolves observability
+        # once at construction; the disabled path is one attribute check.
+        self._trace = gpu._trace
 
         self.app: int | None = None
         self.blocks: list[ThreadBlockRT] = []
@@ -150,6 +153,12 @@ class SM:
             self.stall_time += dt
             if self.app is not None:
                 self.gpu.sm_counters[self.app].stall_time += dt
+                if self._trace is not None:
+                    # The whole [t_last, now) slice was an all-warps-blocked
+                    # stall — exactly the α window of DASE's Eq. 15.
+                    self._trace.complete(
+                        "sm.stall", self._t_last, dt, self.app, self.sm_id
+                    )
         self._t_last = now
 
     def _reschedule(self) -> None:

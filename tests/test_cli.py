@@ -44,6 +44,80 @@ def test_fig_parsers_accept_jobs_and_cache_dir():
     assert args.jobs is None and args.cache_dir is None
 
 
+def test_run_parser_accepts_trace_flags():
+    args = build_parser().parse_args(
+        ["run", "SD", "SB", "--trace", "t.json", "--trace-format", "html"]
+    )
+    assert args.trace == "t.json"
+    assert args.trace_format == "html"
+    args = build_parser().parse_args(["run", "SD", "SB"])
+    assert args.trace is None and args.trace_format == "chrome"
+
+
+def test_trace_parser_defaults():
+    args = build_parser().parse_args(["trace", "SD", "SB"])
+    assert args.apps == ["SD", "SB"]
+    assert args.out == "obs_run"
+    assert args.format == "chrome,csv,html"
+    assert args.models == "DASE,MISE,ASM"
+
+
+def test_fig_parsers_accept_progress_flags():
+    args = build_parser().parse_args(
+        ["fig5", "--progress", "--sweep-log", "s.jsonl"]
+    )
+    assert args.progress is True
+    assert args.sweep_log == "s.jsonl"
+
+
+def test_inspect_requires_path():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["inspect"])
+
+
+def test_list_includes_obs_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out and "inspect" in out
+
+
+@pytest.mark.slow
+def test_trace_inspect_end_to_end(tmp_path, capsys):
+    out_dir = str(tmp_path / "obs_run")
+    rc = main([
+        "trace", "SD", "SB", "--cycles", "15000", "--models", "DASE",
+        "--out", out_dir,
+    ])
+    assert rc == 0
+    for name in ("trace.json", "events.csv", "report.html", "run.json"):
+        assert (tmp_path / "obs_run" / name).is_file()
+    out = capsys.readouterr().out
+    assert "workload: SD+SB" in out
+    assert main(["inspect", out_dir]) == 0
+    assert "workload: SD+SB" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_run_trace_flag_writes_trace(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.json")
+    rc = main([
+        "run", "SD", "SB", "--cycles", "15000", "--models", "DASE",
+        "--trace", trace_path,
+    ])
+    assert rc == 0
+    import json
+
+    payload = json.loads((tmp_path / "trace.json").read_text())
+    assert payload["traceEvents"]
+
+
+def test_inspect_unrecognized_file_fails(tmp_path):
+    junk = tmp_path / "junk.json"
+    junk.write_text("[]")
+    with pytest.raises(SystemExit):
+        main(["inspect", str(junk)])
+
+
 @pytest.mark.slow
 def test_run_workload_end_to_end(capsys):
     rc = main(["run", "QR", "CT", "--cycles", "30000", "--models", "DASE"])

@@ -1,0 +1,85 @@
+"""Observability must never change simulation results.
+
+The golden fixtures of ``tests/test_golden.py`` are re-measured here with
+observability *fully enabled* (event tracer + metrics registry + telemetry
+attached) and must match the committed goldens exactly — the recordings
+were produced by untraced runs, so any perturbation from the instrumented
+hot paths shows up as a golden mismatch.  A direct traced-vs-untraced
+comparison of the full result dict closes the loop at full precision.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness import run_workload, scaled_config
+from repro.obs import Observation
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_pairs.json"
+
+PAIR = ("SD", "SB")
+QUAD = ("SD", "NN", "CS", "SB")
+SHARED_CYCLES = 40_000
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _measure_traced(combo):
+    obs = Observation()
+    res = run_workload(
+        list(combo), config=scaled_config(),
+        shared_cycles=SHARED_CYCLES, models=(), trace=obs,
+    )
+    return res, obs
+
+
+def _assert_matches(res, expected):
+    assert res.instructions == expected["instructions"]
+    assert res.alone_cycles == expected["alone_cycles"]
+    assert res.actual_slowdowns == pytest.approx(
+        expected["slowdowns"], rel=1e-9
+    )
+    assert res.actual_unfairness == pytest.approx(
+        expected["unfairness"], rel=1e-9
+    )
+    assert res.actual_hspeedup == pytest.approx(
+        expected["hspeedup"], rel=1e-9
+    )
+
+
+@pytest.mark.slow
+def test_traced_pair_matches_golden(golden):
+    res, obs = _measure_traced(PAIR)
+    _assert_matches(res, golden["pairs"]["+".join(PAIR)])
+    # The recording really happened (this is not a vacuous pass).
+    assert obs.tracer.n_emitted > 0
+    assert obs.tracer.counts_by_name()["dram.service"] > 0
+    assert obs.telemetry is not None and obs.telemetry.samples
+
+
+@pytest.mark.slow
+def test_traced_quad_matches_golden(golden):
+    res, obs = _measure_traced(QUAD)
+    _assert_matches(res, golden["quads"]["+".join(QUAD)])
+    assert obs.tracer.n_emitted > 0
+    assert obs.tracer.topology["n_apps"] == 4
+
+
+@pytest.mark.slow
+def test_traced_equals_untraced_bit_for_bit():
+    """Full-precision digest equality: the traced run's complete result
+    dict — instructions, alone cycles, slowdowns, bandwidth — must be
+    byte-identical to the untraced run's."""
+    traced, _ = _measure_traced(PAIR)
+    untraced = run_workload(
+        list(PAIR), config=scaled_config(),
+        shared_cycles=SHARED_CYCLES, models=(),
+    )
+    assert json.dumps(traced.to_dict(), sort_keys=True) == json.dumps(
+        untraced.to_dict(), sort_keys=True
+    )

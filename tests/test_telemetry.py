@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import GPUConfig
 from repro.core import DASE
-from repro.harness import Telemetry
+from repro.obs import Telemetry
 from repro.sim.gpu import GPU
 from repro.sim.kernel import KernelSpec
 
@@ -73,3 +73,16 @@ class TestTelemetry:
         gpu, tel = make_run()
         with pytest.raises(RuntimeError):
             tel.attach(gpu)
+
+    def test_detach_allows_reattach(self):
+        gpu, tel = make_run()
+        n = len(tel.samples)
+        tel.detach()
+        tel.attach(gpu)  # no RuntimeError after a detach
+        gpu.run(5_000)
+        assert len(tel.samples) == n + 2
+
+    def test_legacy_import_path_still_works(self):
+        from repro.harness import Telemetry as legacy
+
+        assert legacy is Telemetry
