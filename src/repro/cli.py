@@ -33,6 +33,7 @@ def _cmd_list(args) -> int:
         ("run", "run an arbitrary workload: python -m repro run SD SB"),
         ("trace", "record a traced run: python -m repro trace SD SB"),
         ("inspect", "summarize a recorded run or Chrome trace"),
+        ("diff", "compare two recorded runs or sweep logs field-by-field"),
     ]
     from repro.harness.report import table
 
@@ -190,6 +191,7 @@ def _write_trace_file(obs, result, path: str, fmt: str) -> None:
             telemetry=obs.telemetry,
             tracer=obs.tracer,
             registry=obs.registry,
+            audit=obs.audit,
             title="+".join(result.names),
         )
     else:  # pragma: no cover - argparse restricts choices
@@ -216,13 +218,23 @@ def _cmd_trace(args) -> int:
                 f"unknown trace format {f!r}; choose from chrome,csv,html"
             )
 
-    obs = (
-        Observation(trace_capacity=args.trace_capacity)
-        if args.trace_capacity
-        else Observation()
-    )
+    kw = {"trace_capacity": args.trace_capacity} if args.trace_capacity else {}
+    obs = Observation(audit=args.audit, **kw)
+
+    # --policy dase-fair runs the real scheduler (it migrates SMs);
+    # --audit alone attaches the dry-run shadow scheduler, which evaluates
+    # and audits every interval but never migrates, so the audited run
+    # stays bit-identical to a plain one.
+    policy = None
+    if args.policy == "dase-fair" or args.audit:
+        from repro.harness import scaled_config
+        from repro.policies import DASEFairPolicy
+
+        policy = DASEFairPolicy(
+            scaled_config(), dry_run=args.policy != "dase-fair"
+        )
     res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
-                       trace=obs)
+                       policy=policy, trace=obs)
 
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -233,6 +245,11 @@ def _cmd_trace(args) -> int:
         target = out / exports[fmt]
         _write_trace_file(obs, res, str(target), fmt)
         files[fmt] = exports[fmt]
+    if obs.audit is not None:
+        from repro.obs import export_audit_json
+
+        export_audit_json(obs.audit, out / "audit.json")
+        files["audit"] = "audit.json"
     manifest = {
         "schema": RUN_SCHEMA,
         "workload": res.to_dict(),
@@ -240,6 +257,8 @@ def _cmd_trace(args) -> int:
         "metrics": obs.registry.snapshot(),
         "files": files,
     }
+    if obs.audit is not None:
+        manifest["audit"] = obs.audit.summary()
     with (out / "run.json").open("w") as fh:
         json.dump(manifest, fh, indent=1, sort_keys=True)
     print(summarize_run(manifest))
@@ -254,13 +273,42 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    import json
+
     from repro.obs import inspect_path
+    from repro.obs.inspect import inspect_json
 
     try:
-        print(inspect_path(args.path))
+        if args.json:
+            print(json.dumps(inspect_json(args.path), indent=1,
+                             sort_keys=True))
+        else:
+            print(inspect_path(args.path))
     except (ValueError, OSError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(f"repro inspect: {exc}")
     return 0
+
+
+def _cmd_diff(args) -> int:
+    import json
+
+    from repro.obs.diff import DEFAULT_IGNORE, diff_paths
+
+    ignore = (
+        frozenset(k for k in args.ignore.split(",") if k)
+        if args.ignore is not None
+        else DEFAULT_IGNORE
+    )
+    try:
+        res = diff_paths(args.a, args.b, rel_tol=args.rel_tol,
+                         ignore=ignore, only=args.only)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro diff: {exc}")
+    if args.json:
+        print(json.dumps(res.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(res.render())
+    return 0 if res.identical else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -335,6 +383,16 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="EVENTS",
                     help="event ring capacity (default: 262144; oldest "
                          "events drop once full)")
+    tr.add_argument("--audit", action="store_true",
+                    help="record model/decision audits (audit.json + "
+                         "error & decision timelines in the HTML report); "
+                         "attaches a dry-run shadow scheduler unless "
+                         "--policy selects a real one — the audited run "
+                         "stays bit-identical to a plain one")
+    tr.add_argument("--policy", choices=("none", "dase-fair"),
+                    default="none",
+                    help="SM-allocation policy for the shared run "
+                         "(default: none; dase-fair migrates SMs)")
     tr.set_defaults(func=_cmd_trace)
 
     ins = sub.add_parser(
@@ -342,7 +400,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "Chrome trace JSON"
     )
     ins.add_argument("path", help="run directory, run.json, or trace.json")
+    ins.add_argument("--json", action="store_true",
+                     help="emit the machine-readable inspection payload")
     ins.set_defaults(func=_cmd_inspect)
+
+    df = sub.add_parser(
+        "diff", help="field-by-field comparison of two recorded runs "
+                     "(run dirs / run.json manifests / sweep JSONL logs); "
+                     "exit 0 = identical, 1 = drift"
+    )
+    df.add_argument("a", help="run dir, run.json, .jsonl sweep log, or JSON")
+    df.add_argument("b", help="same kinds as A")
+    df.add_argument("--rel-tol", type=float, default=0.0, metavar="F",
+                    help="relative tolerance for numeric leaves "
+                         "(default: 0 — exact)")
+    df.add_argument("--only", default=None, metavar="PATH",
+                    help="restrict to a dotted sub-path, e.g. "
+                         "workload.estimates or workload.estimates.DASE.0")
+    df.add_argument("--ignore", default=None, metavar="K1,K2",
+                    help="comma-separated keys to skip (default: volatile "
+                         "bookkeeping: ts,duration_s,done,index,cache,files)")
+    df.add_argument("--json", action="store_true",
+                    help="emit the machine-readable diff verdict")
+    df.set_defaults(func=_cmd_diff)
 
     sm = sub.add_parser(
         "summarize", help="paper-vs-measured summary from results/*.json"

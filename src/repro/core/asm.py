@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.config import GPUConfig
 from repro.core.base import SlowdownEstimator
 from repro.core.sampling import PriorityRotator, RateAccumulators
+from repro.obs.audit import AuditLog, ModelAudit
 from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
 
@@ -51,30 +52,72 @@ class ASM(SlowdownEstimator):
         acc_now = self.rotator.acc.snapshot()
         d = acc_now.delta(self._acc_snap)
         self._acc_snap = acc_now
-        return [self._estimate_app(rec, d) for rec in records]
+        audit = self._audit
+        interval = len(self.history)
+        return [
+            self._estimate_app(rec, d, audit, interval) for rec in records
+        ]
 
     def _estimate_app(
-        self, rec: IntervalRecord, d: RateAccumulators
+        self,
+        rec: IntervalRecord,
+        d: RateAccumulators,
+        audit: AuditLog | None = None,
+        interval: int = 0,
     ) -> float | None:
         i = rec.app
+        est: float | None
+        skip: str | None = None
+        terms: dict[str, float] = {}
         if d.prio_time[i] <= 0 or d.shared_time[i] <= 0:
-            return None
-        if d.prio_accesses[i] <= 0 or d.shared_accesses[i] <= 0:
-            return 1.0
-        car_shared = d.shared_accesses[i] / d.shared_time[i]
+            est, skip = None, "no-priority-epoch"
+        elif d.prio_accesses[i] <= 0 or d.shared_accesses[i] <= 0:
+            est = 1.0
+            terms = {"no_cache_traffic": True}
+        else:
+            car_shared = d.shared_accesses[i] / d.shared_time[i]
 
-        # Contention-miss correction: estimate how much of the priority-epoch
-        # time was wasted on misses that would have been hits alone, and
-        # remove it from the alone-time denominator.
-        cycles = max(1, rec.cycles)
-        ellc_rate = rec.ellc_miss / cycles  # contention misses per cycle
-        # Cost of one avoidable miss = the DRAM service time it adds (row
-        # activation + column access + burst); queueing delay is excluded
-        # because the alone run would not have experienced today's queues.
-        d_cfg = self.config.dram
-        miss_cost = self.config.dram_cycles_to_core(
-            d_cfg.tRP + d_cfg.tRCD + d_cfg.tCL + d_cfg.tBurst
-        )
-        wasted = min(ellc_rate * d.prio_time[i] * miss_cost, 0.5 * d.prio_time[i])
-        car_alone = d.prio_accesses[i] / (d.prio_time[i] - wasted)
-        return max(1.0, car_alone / car_shared)
+            # Contention-miss correction: estimate how much of the
+            # priority-epoch time was wasted on misses that would have been
+            # hits alone, and remove it from the alone-time denominator.
+            cycles = max(1, rec.cycles)
+            ellc_rate = rec.ellc_miss / cycles  # contention misses per cycle
+            # Cost of one avoidable miss = the DRAM service time it adds (row
+            # activation + column access + burst); queueing delay is excluded
+            # because the alone run would not have experienced today's queues.
+            d_cfg = self.config.dram
+            miss_cost = self.config.dram_cycles_to_core(
+                d_cfg.tRP + d_cfg.tRCD + d_cfg.tCL + d_cfg.tBurst
+            )
+            wasted = min(
+                ellc_rate * d.prio_time[i] * miss_cost, 0.5 * d.prio_time[i]
+            )
+            car_alone = d.prio_accesses[i] / (d.prio_time[i] - wasted)
+            est = max(1.0, car_alone / car_shared)
+            terms = {
+                "car_shared": car_shared,
+                "car_alone": car_alone,
+                "ellc_rate": ellc_rate,
+                "miss_cost": miss_cost,
+                "wasted_prio_time": wasted,
+            }
+        if audit is not None:
+            audit.record_model(ModelAudit(
+                model=self.name,
+                app=i,
+                interval=interval,
+                cycle=rec.end,
+                estimate=est,
+                reciprocal=None if est is None else 1.0 / max(est, 1.0),
+                inputs={
+                    "alpha": rec.sm.alpha,
+                    "ellc_miss": rec.ellc_miss,
+                    "prio_accesses": d.prio_accesses[i],
+                    "prio_time": d.prio_time[i],
+                    "shared_accesses": d.shared_accesses[i],
+                    "shared_time": d.shared_time[i],
+                },
+                terms=terms,
+                skip_reason=skip,
+            ))
+        return est

@@ -10,10 +10,14 @@ intervals — the paper's "sampled by averaging it over a period of time".
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from repro.config import GPUConfig
 from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.audit import AuditLog
 
 
 class SlowdownEstimator(abc.ABC):
@@ -27,11 +31,16 @@ class SlowdownEstimator(abc.ABC):
         #: One entry per interval: list of per-app estimates (None = no
         #: estimate possible this interval, e.g. degenerate counters).
         self.history: list[list[float | None]] = []
+        #: Audit sink (repro.obs.audit), resolved once at attach time —
+        #: None keeps the unaudited path to a single attribute check.
+        self._audit: "AuditLog | None" = None
 
     def attach(self, gpu: GPU) -> None:
         if self.gpu is not None:
             raise RuntimeError(f"{self.name} is already attached")
         self.gpu = gpu
+        if gpu.obs is not None:
+            self._audit = gpu.obs.audit
         gpu.add_interval_listener(self._on_interval)
 
     def _on_interval(self, records: list[IntervalRecord]) -> None:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.config import GPUConfig
 from repro.core.base import SlowdownEstimator
 from repro.core.classify import is_mbb, request_max, shared_requests
+from repro.obs.audit import ModelAudit
 from repro.sim.stats import IntervalRecord
 
 
@@ -72,12 +73,57 @@ class DASE(SlowdownEstimator):
     ) -> list[float | None]:
         out: list[float | None] = []
         rows: list[DASEBreakdown] = []
+        audit = self._audit
+        interval = len(self.history)
         for rec in records:
             est, bd = self._estimate_app(rec, records)
             out.append(est)
             rows.append(bd)
+            if audit is not None:
+                audit.record_model(self._model_audit(rec, est, bd, interval))
         self.breakdowns.append(rows)
         return out
+
+    def _model_audit(
+        self, rec: IntervalRecord, est: float | None, bd: DASEBreakdown,
+        interval: int,
+    ) -> ModelAudit:
+        """Decompose one interval estimate into its inputs and terms."""
+        inputs = {
+            "cycles": rec.cycles,
+            "alpha": rec.sm.alpha,
+            "blp": bd.blp,
+            "blp_access": bd.blp_access,
+            "erb_miss": rec.mem.erb_miss,
+            "ellc_miss": rec.ellc_miss,
+            "requests_served": rec.mem.requests_served,
+            "time_request": rec.mem.time_request,
+            "sm_count": rec.sm_count,
+            "sm_total": rec.sm_total,
+            "tb_running": rec.tb_running,
+            "tb_unfinished": rec.tb_unfinished,
+        }
+        terms = {
+            "mbb": bd.mbb,
+            "time_bank": bd.time_bank,
+            "time_rowbuf": bd.time_rowbuf,
+            "time_cache": bd.time_cache,
+            "time_interference": bd.time_interference,
+            "alpha_effective": bd.alpha,
+            "slowdown_assigned": bd.slowdown_assigned,
+            "slowdown_all": bd.slowdown_all,
+        }
+        return ModelAudit(
+            model=self.name,
+            app=rec.app,
+            interval=interval,
+            cycle=rec.end,
+            estimate=est,
+            reciprocal=None if est is None else 1.0 / max(est, 1.0),
+            inputs=inputs,
+            terms=terms,
+            skip_reason=None if est is not None else "degenerate-interval",
+        )
 
     def _estimate_app(
         self, rec: IntervalRecord, records: list[IntervalRecord]

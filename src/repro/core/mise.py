@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.config import GPUConfig
 from repro.core.base import SlowdownEstimator
 from repro.core.sampling import PriorityRotator, RateAccumulators
+from repro.obs.audit import AuditLog, ModelAudit
 from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
 
@@ -55,24 +56,63 @@ class MISE(SlowdownEstimator):
         acc_now = self.rotator.acc.snapshot()
         d = acc_now.delta(self._acc_snap)
         self._acc_snap = acc_now
+        audit = self._audit
+        interval = len(self.history)
         out: list[float | None] = []
         for rec in records:
-            out.append(self._estimate_app(rec, d))
+            out.append(self._estimate_app(rec, d, audit, interval))
         return out
 
     def _estimate_app(
-        self, rec: IntervalRecord, d: RateAccumulators
+        self,
+        rec: IntervalRecord,
+        d: RateAccumulators,
+        audit: AuditLog | None = None,
+        interval: int = 0,
     ) -> float | None:
         i = rec.app
+        est: float | None
+        skip: str | None = None
+        terms: dict[str, float] = {}
         if d.prio_time[i] <= 0 or d.shared_time[i] <= 0:
-            return None
-        if d.prio_requests[i] <= 0 or d.shared_requests[i] <= 0:
+            est, skip = None, "no-priority-epoch"
+        elif d.prio_requests[i] <= 0 or d.shared_requests[i] <= 0:
             # No memory traffic → no memory interference to model.
-            return 1.0
-        arsr = d.prio_requests[i] / d.prio_time[i]
-        srsr = d.shared_requests[i] / d.shared_time[i]
-        ratio = max(1.0, arsr / srsr)
-        alpha = rec.sm.alpha
-        if alpha >= self.intensive_alpha:
-            return ratio
-        return 1.0 - alpha + alpha * ratio
+            est = 1.0
+            terms = {"no_memory_traffic": True}
+        else:
+            arsr = d.prio_requests[i] / d.prio_time[i]
+            srsr = d.shared_requests[i] / d.shared_time[i]
+            ratio = max(1.0, arsr / srsr)
+            alpha = rec.sm.alpha
+            intensive = alpha >= self.intensive_alpha
+            if intensive:
+                est = ratio
+            else:
+                est = 1.0 - alpha + alpha * ratio
+            terms = {
+                "arsr": arsr,
+                "srsr": srsr,
+                "ratio": ratio,
+                "intensive": intensive,
+            }
+        if audit is not None:
+            audit.record_model(ModelAudit(
+                model=self.name,
+                app=i,
+                interval=interval,
+                cycle=rec.end,
+                estimate=est,
+                reciprocal=None if est is None else 1.0 / max(est, 1.0),
+                inputs={
+                    "alpha": rec.sm.alpha,
+                    "prio_requests": d.prio_requests[i],
+                    "prio_time": d.prio_time[i],
+                    "shared_requests": d.shared_requests[i],
+                    "shared_time": d.shared_time[i],
+                    "intensive_alpha": self.intensive_alpha,
+                },
+                terms=terms,
+                skip_reason=skip,
+            ))
+        return est

@@ -255,6 +255,18 @@ def _run_workload(
             telemetry.estimators = estimators
         telemetry.attach(gpu)
     if policy is not None:
+        # A DASE-Fair policy that would build its own private DASE adopts
+        # the harness's instead (DASE is a pure observer, so sharing is
+        # bit-identical) — one estimation per interval, and the audit log
+        # carries a single DASE stream instead of two.
+        from repro.policies.sm_alloc import DASEFairPolicy
+
+        if (
+            isinstance(policy, DASEFairPolicy)
+            and policy._own_estimator
+            and isinstance(estimators.get("DASE"), DASE)
+        ):
+            policy.use_estimator(estimators["DASE"])
         policy.attach(gpu)
 
     gpu.run(shared_cycles)

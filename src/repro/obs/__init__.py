@@ -35,6 +35,22 @@ or process-wide for everything constructed afterwards::
 
 from __future__ import annotations
 
+from repro.obs.audit import (
+    AUDIT_SCHEMA,
+    AuditLog,
+    DecisionAudit,
+    ModelAudit,
+    export_audit_json,
+)
+from repro.obs.diff import (
+    DEFAULT_IGNORE,
+    DIFF_SCHEMA,
+    DiffResult,
+    Drift,
+    diff_paths,
+    diff_payloads,
+    load_comparable,
+)
 from repro.obs.export import (
     chrome_trace_events,
     events_csv,
@@ -43,7 +59,7 @@ from repro.obs.export import (
     to_chrome_trace,
     trace_summary,
 )
-from repro.obs.inspect import inspect_path
+from repro.obs.inspect import inspect_json, inspect_path
 from repro.obs.progress import JsonlLogger, SweepProgress
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import export_html_report, render_html_report
@@ -115,4 +131,17 @@ __all__ = [
     "render_html_report",
     "export_html_report",
     "inspect_path",
+    "inspect_json",
+    "AuditLog",
+    "ModelAudit",
+    "DecisionAudit",
+    "export_audit_json",
+    "AUDIT_SCHEMA",
+    "DiffResult",
+    "Drift",
+    "diff_paths",
+    "diff_payloads",
+    "load_comparable",
+    "DIFF_SCHEMA",
+    "DEFAULT_IGNORE",
 ]

@@ -84,6 +84,32 @@ def summarize_run(manifest: dict[str, Any]) -> str:
                 f"engine: {engine['events_dispatched']} events dispatched, "
                 f"largest cycle bucket {engine.get('max_bucket', 0)}"
             )
+    audit = manifest.get("audit") or {}
+    if audit:
+        out.append("")
+        out.append(
+            f"audit: {audit.get('model_records', 0)} model records, "
+            f"{audit.get('decision_records', 0)} decision records"
+        )
+        per_model = audit.get("per_model") or {}
+        if per_model:
+            out.append(_table(
+                ["model", "records", "skipped"],
+                [
+                    [m, row.get("records", 0), row.get("skipped", 0)]
+                    for m, row in sorted(per_model.items())
+                ],
+            ))
+        actions = audit.get("decision_actions") or {}
+        if actions:
+            out.append("decisions: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(actions.items())
+            ))
+        reasons = audit.get("decision_reasons") or {}
+        if reasons:
+            out.append("reasons: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(reasons.items())
+            ))
     metrics = manifest.get("metrics") or {}
     if metrics:
         rows = []
@@ -138,21 +164,60 @@ def summarize_chrome(payload: dict[str, Any]) -> str:
     return "\n".join(out)
 
 
-def inspect_path(path: str) -> str:
-    """Dispatch on what ``path`` holds; raises ValueError when unrecognized."""
+def load_recorded(path: str) -> tuple[str, dict[str, Any]]:
+    """Load and classify what ``path`` holds: ``("run", manifest)`` for a
+    run.json manifest (or a directory containing one), ``("chrome",
+    payload)`` for a raw Chrome trace.
+
+    Raises ValueError with a one-line message on missing, corrupt, or
+    unrecognized input — never a traceback-worthy parse error.
+    """
     p = pathlib.Path(path)
     if p.is_dir():
         manifest = p / "run.json"
         if not manifest.is_file():
             raise ValueError(f"no run.json found under {p}")
         p = manifest
-    with p.open() as fh:
-        payload = json.load(fh)
+    if not p.is_file():
+        raise ValueError(f"{p} does not exist")
+    try:
+        with p.open() as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{p} is not valid JSON: {exc}") from exc
     if isinstance(payload, dict) and payload.get("schema") == RUN_SCHEMA:
-        return summarize_run(payload)
+        return "run", payload
     if isinstance(payload, dict) and "traceEvents" in payload:
-        return summarize_chrome(payload)
+        return "chrome", payload
     raise ValueError(
         f"{p} is neither a repro run manifest ({RUN_SCHEMA}) nor a Chrome "
         "trace"
     )
+
+
+def inspect_json(path: str) -> dict[str, Any]:
+    """Machine-readable inspection payload (``repro inspect --json``)."""
+    kind, payload = load_recorded(path)
+    if kind == "run":
+        return {"kind": "run", **payload}
+    events = payload.get("traceEvents", [])
+    by_name: dict[str, int] = {}
+    for ev in events:
+        if ev.get("ph") == "M":
+            continue
+        name = ev.get("name", "?")
+        by_name[name] = by_name.get(name, 0) + 1
+    return {
+        "kind": "chrome",
+        "entries": len(events),
+        "by_name": dict(sorted(by_name.items())),
+        "other_data": payload.get("otherData") or {},
+    }
+
+
+def inspect_path(path: str) -> str:
+    """Dispatch on what ``path`` holds; raises ValueError when unrecognized."""
+    kind, payload = load_recorded(path)
+    if kind == "run":
+        return summarize_run(payload)
+    return summarize_chrome(payload)

@@ -27,6 +27,7 @@ from repro.obs.tracer import EventTracer
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.harness.runner import WorkloadResult
+    from repro.obs.audit import AuditLog, DecisionAudit
     from repro.obs.registry import MetricsRegistry
     from repro.obs.telemetry import Telemetry
 
@@ -267,6 +268,134 @@ def _table_view(telemetry: "Telemetry") -> str:
     )
 
 
+def _error_section(
+    audit: "AuditLog", result: "WorkloadResult", label
+) -> str:
+    """Per-model estimate-vs-actual relative-error timelines."""
+    charts: list[str] = []
+    for model in audit.models():
+        series = []
+        for a in range(len(result.names)):
+            pts = audit.error_series(model, a, result.actual_slowdowns[a])
+            series.append({"label": label(a), "slot": a, "points": pts})
+        chart = _line_chart(
+            f"{model} relative error per interval", series,
+            y_label="|est − actual| / actual",
+        )
+        if chart:
+            charts.append(chart)
+    if not charts:
+        return ""
+    return (
+        "<h2>Estimate-vs-actual error</h2>"
+        "<p class='note'>per-interval estimate against the run-level "
+        "measured slowdown (matched-instruction alone replay) — from the "
+        "<code>audit.model</code> records</p>" + "".join(charts)
+    )
+
+
+def _fmt_part(part: Sequence[int] | None) -> str:
+    return "—" if part is None else "+".join(str(p) for p in part)
+
+
+def _candidate_details(d: "DecisionAudit", label) -> str:
+    """Expandable candidate-score table for one scored decision."""
+    ranked = sorted(d.candidates, key=lambda cu: cu[1])
+    shown = ranked[:15]
+    rows = []
+    for part, unf in shown:
+        mark = " ←" if part == d.target else ""
+        rows.append(
+            f"<tr><td>{_fmt_part(part)}</td><td>{unf:.4f}{mark}</td></tr>"
+        )
+    more = (
+        f"<p class='note'>… {len(ranked) - len(shown)} more candidates "
+        "omitted (full list in audit.json)</p>"
+        if len(ranked) > len(shown) else ""
+    )
+    interp = ""
+    if d.interpolation and d.reciprocals:
+        cells = "".join(
+            f"<tr><td>{label(a)}</td><td>{d.reciprocals[a]:.4f}</td>"
+            f"<td>{d.interpolation[a][d.target[a] - 1]:.4f}</td></tr>"
+            for a in range(len(d.interpolation))
+        )
+        interp = (
+            "<table><thead><tr><th>app</th><th>reciprocal (Eq. 28)</th>"
+            "<th>predicted at target (Eqs. 29-30)</th></tr></thead>"
+            f"<tbody>{cells}</tbody></table>"
+        )
+    return (
+        f"<details><summary>cycle {d.cycle}: {len(ranked)} candidate "
+        f"partitions scored — chosen {_fmt_part(d.target)} "
+        f"(predicted unfairness {d.predicted_unfairness:.4f})</summary>"
+        f"{interp}"
+        "<table><thead><tr><th>partition</th><th>predicted unfairness</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>{more}"
+        "</details>"
+    )
+
+
+def _decision_section(audit: "AuditLog", label) -> str:
+    """DASE-Fair decision timeline: every evaluation, with its scores."""
+    decisions = audit.decision_audits
+    if not decisions:
+        return ""
+    body: list[str] = ["<h2>DASE-Fair decision timeline</h2>"]
+    # Unfairness trajectory: measured-now vs predicted-at-target.
+    cur_pts = [
+        (d.cycle, d.current_unfairness)
+        for d in decisions if d.current_unfairness is not None
+    ]
+    pred_pts = [
+        (d.cycle, d.predicted_unfairness)
+        for d in decisions if d.predicted_unfairness is not None
+    ]
+    chart = _line_chart(
+        "Estimated unfairness at each decision",
+        [
+            {"label": "current partition", "slot": 0, "points": cur_pts},
+            {"label": "best candidate", "slot": 1, "points": pred_pts},
+        ],
+        y_label="unfairness",
+    )
+    if chart:
+        body.append(chart)
+    head = "".join(
+        f"<th>{h}</th>"
+        for h in ["cycle", "action", "reason", "partition", "target",
+                  "unfairness", "predicted", "plan"]
+    )
+    rows = []
+    for d in decisions:
+        plan = (
+            "—" if not d.plan else "; ".join(
+                f"{label(f)}→{label(t)}×{k}" for f, t, k in d.plan
+            )
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{d.cycle}</td><td>{_esc(d.action)}</td>"
+            f"<td>{_esc(d.reason)}</td>"
+            f"<td>{_fmt_part(d.current)}</td><td>{_fmt_part(d.target)}</td>"
+            f"<td>{'—' if d.current_unfairness is None else f'{d.current_unfairness:.4f}'}</td>"
+            f"<td>{'—' if d.predicted_unfairness is None else f'{d.predicted_unfairness:.4f}'}</td>"
+            f"<td>{_esc(plan)}</td>"
+            "</tr>"
+        )
+    body.append(
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        "<p class='note'>one row per interval evaluation; "
+        "<code>recommend</code> = dry-run (shadow) decision that did not "
+        "move SMs</p>"
+    )
+    for d in decisions:
+        if d.candidates:
+            body.append(_candidate_details(d, label))
+    return "".join(body)
+
+
 _PAGE = Template("""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -342,6 +471,7 @@ def render_html_report(
     telemetry: "Telemetry | None" = None,
     tracer: EventTracer | None = None,
     registry: "MetricsRegistry | None" = None,
+    audit: "AuditLog | None" = None,
     title: str = "repro run report",
 ) -> str:
     """Build the full report; every argument is optional and independent."""
@@ -354,11 +484,11 @@ def render_html_report(
     elif tracer is not None:
         app_names = list(tracer.topology.get("app_names", []))
 
+    def label(a: int) -> str:
+        return app_names[a] if a < len(app_names) else f"app{a}"
+
     if telemetry is not None and telemetry.samples:
         apps = sorted({s.app for s in telemetry.samples})
-
-        def label(a: int) -> str:
-            return app_names[a] if a < len(app_names) else f"app{a}"
 
         def app_series(fieldname: str) -> list[dict]:
             return [
@@ -408,6 +538,11 @@ def render_html_report(
                 f"{model} slowdown estimate", series, y_label="slowdown"))
         body.append(_line_chart(
             "SM partition timeline", app_series("sm_count"), y_label="SMs"))
+
+    if audit is not None:
+        if result is not None and audit.model_audits:
+            body.append(_error_section(audit, result, label))
+        body.append(_decision_section(audit, label))
 
     if tracer is not None:
         body.append(_bank_heat_section(tracer))

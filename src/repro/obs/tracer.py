@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.obs.audit import AuditLog
     from repro.obs.registry import MetricsRegistry
     from repro.obs.telemetry import Telemetry
 
@@ -165,6 +166,7 @@ class Observation:
         registry: "MetricsRegistry | None" = None,
         tracer: EventTracer | None = None,
         telemetry: "Telemetry | None" = None,
+        audit: "AuditLog | bool | None" = None,
     ) -> None:
         if registry is None:
             from repro.obs.registry import MetricsRegistry
@@ -174,6 +176,15 @@ class Observation:
         # Explicit None check: an *empty* EventTracer is falsy (__len__).
         self.tracer = tracer if tracer is not None else EventTracer(trace_capacity)
         self.telemetry = telemetry
+        # Model/decision auditing (repro.obs.audit): off unless requested.
+        # ``audit=True`` builds a log mirrored into this bundle's tracer.
+        if audit is True:
+            from repro.obs.audit import AuditLog
+
+            audit = AuditLog(tracer=self.tracer)
+        elif audit is not None and audit is not False and audit.tracer is None:
+            audit.tracer = self.tracer
+        self.audit = audit if audit is not False else None
 
     def finalize_run(self, gpu) -> None:
         """Publish end-of-run gauges readable only from the whole GPU."""
@@ -184,6 +195,13 @@ class Observation:
         reg.gauge("run/engine/max_bucket").set(self.tracer.engine_max_bucket)
         reg.gauge("run/trace/events_emitted").set(self.tracer.n_emitted)
         reg.gauge("run/trace/events_dropped").set(self.tracer.dropped)
+        if self.audit is not None:
+            reg.gauge("run/audit/model_records").set(
+                len(self.audit.model_audits)
+            )
+            reg.gauge("run/audit/decision_records").set(
+                len(self.audit.decision_audits)
+            )
         reg.gauge("run/icnt/request_utilization").set(
             gpu.xbar_request.utilization(now)
         )

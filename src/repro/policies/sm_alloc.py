@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import GPUConfig
 from repro.core.dase import DASE
+from repro.obs.audit import DecisionAudit
 from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.audit import AuditLog
 
 
 def interpolate_reciprocal(
@@ -67,11 +71,15 @@ def best_partition(
     reciprocals: Sequence[float],
     current: Sequence[int],
     total_sms: int,
+    scores_out: list[tuple[tuple[int, ...], float]] | None = None,
 ) -> tuple[tuple[int, ...], float]:
     """Exhaustive search (paper: 'we search all possible SM allocation
     schemes') for the partition minimizing predicted unfairness.
 
-    Returns (partition, predicted_unfairness).
+    Returns (partition, predicted_unfairness).  When ``scores_out`` is
+    given, every candidate's (partition, unfairness) is appended to it in
+    search order — the audit layer records them so each decision can be
+    replayed (the chosen target is the first minimum of the list).
     """
     n = len(reciprocals)
     if n != len(current):
@@ -84,10 +92,28 @@ def best_partition(
             pr = interpolate_reciprocal(r, cur, tgt, total_sms)
             slowdowns.append(1.0 / max(pr, 1e-6))
         unf = max(slowdowns) / min(slowdowns)
+        if scores_out is not None:
+            scores_out.append((cand, unf))
         if unf < best_unf:
             best_unf, best = unf, cand
     assert best is not None
     return best, best_unf
+
+
+def interpolation_table(
+    reciprocals: Sequence[float],
+    current: Sequence[int],
+    total_sms: int,
+) -> list[list[float]]:
+    """Eqs. 29-30 evaluated everywhere: ``table[app][t-1]`` = predicted
+    reciprocal of ``app`` at ``t`` SMs, for t in 1..total_sms."""
+    return [
+        [
+            interpolate_reciprocal(r, cur, t, total_sms)
+            for t in range(1, total_sms + 1)
+        ]
+        for r, cur in zip(reciprocals, current)
+    ]
 
 
 class AllocationPolicy(abc.ABC):
@@ -132,6 +158,7 @@ class DASEFairPolicy(AllocationPolicy):
         estimator: DASE | None = None,
         improvement_margin: float = 0.05,
         min_tb_unfinished: int = 32,
+        dry_run: bool = False,
     ) -> None:
         """``improvement_margin``: required relative unfairness improvement
         before migrating (hysteresis against estimate noise).
@@ -140,13 +167,30 @@ class DASEFairPolicy(AllocationPolicy):
         some kernels, which have too less thread blocks or are too short' —
         an application below this many unfinished thread blocks freezes
         reallocation for the interval.
+
+        ``dry_run``: evaluate every interval (and audit the evaluation) but
+        never migrate — a shadow scheduler that leaves the run bit-identical
+        to an unscheduled one.  Would-migrate decisions are audited with
+        action ``"recommend"``.
         """
         self.config = config
         self.estimator = estimator or DASE(config)
         self.improvement_margin = improvement_margin
         self.min_tb_unfinished = min_tb_unfinished
+        self.dry_run = dry_run
         self.decisions: list[tuple[int, tuple[int, ...]]] = []  # (cycle, target)
         self._own_estimator = estimator is None
+        #: Audit sink (repro.obs.audit), resolved once at attach time.
+        self._audit: "AuditLog | None" = None
+
+    def use_estimator(self, estimator: DASE) -> None:
+        """Adopt an externally-managed DASE (e.g. the harness's) instead of
+        the private one, so one estimator drives both the accuracy readout
+        and the policy — and the audit log carries a single DASE stream."""
+        if getattr(self, "gpu", None) is not None:
+            raise RuntimeError("cannot swap estimators after attach")
+        self.estimator = estimator
+        self._own_estimator = False
 
     def attach(self, gpu: GPU) -> None:
         # The estimator must observe the interval *before* the policy acts.
@@ -155,41 +199,132 @@ class DASEFairPolicy(AllocationPolicy):
         elif self.estimator.gpu is None:
             self.estimator.attach(gpu)
         super().attach(gpu)
+        if gpu.obs is not None:
+            self._audit = gpu.obs.audit
 
     def on_interval(self, records: list[IntervalRecord]) -> None:
         gpu = self.gpu
+        audit = self._audit
         # Let an in-flight migration settle before deciding again.
         if any(sm.draining for sm in gpu.sms):
+            if audit is not None:
+                self._record_hold(audit, "migration-draining")
             return
         if any(r.tb_unfinished < self.min_tb_unfinished for r in records):
+            if audit is not None:
+                self._record_hold(audit, "too-few-thread-blocks")
             return
         recs = self.estimator.latest_reciprocals()
         if not recs or any(r is None for r in recs):
+            if audit is not None:
+                self._record_hold(audit, "no-estimate", recs)
             return
         current = gpu.sm_counts()
         if min(current) < 1:
+            if audit is not None:
+                self._record_hold(audit, "app-without-sm", recs)
             return
-        target, predicted = best_partition(recs, current, self.config.n_sms)
+        scores = [] if audit is not None else None
+        target, predicted = best_partition(
+            recs, current, self.config.n_sms, scores_out=scores
+        )
 
         slowdowns = [1.0 / max(r, 1e-6) for r in recs]
         current_unf = max(slowdowns) / min(slowdowns)
         if tuple(current) == target:
+            if audit is not None:
+                self._record_scored(
+                    audit, "hold", "already-optimal", recs, current,
+                    target, current_unf, predicted, scores, None,
+                )
             return
         if predicted > current_unf * (1.0 - self.improvement_margin):
+            if audit is not None:
+                self._record_scored(
+                    audit, "hold", "hysteresis", recs, current,
+                    target, current_unf, predicted, scores, None,
+                )
+            return
+        plan = self._plan(current, target)
+        if audit is not None:
+            self._record_scored(
+                audit, "recommend" if self.dry_run else "migrate",
+                "improvement", recs, current, target, current_unf,
+                predicted, scores, plan,
+            )
+        if self.dry_run:
             return
         self.decisions.append((gpu.engine.now, target))
-        self._apply(current, target)
+        self._apply(plan)
 
-    def _apply(self, current: Sequence[int], target: Sequence[int]) -> None:
+    # ------------------------------------------------------------- auditing
+
+    def _record_hold(
+        self,
+        audit: "AuditLog",
+        reason: str,
+        reciprocals: list[float | None] | None = None,
+    ) -> None:
+        gpu = self.gpu
+        audit.record_decision(DecisionAudit(
+            policy=self.name,
+            interval=len(gpu.interval_history) - 1,
+            cycle=gpu.engine.now,
+            current=tuple(gpu.sm_counts()),
+            action="hold",
+            reason=reason,
+            reciprocals=None if reciprocals is None else list(reciprocals),
+        ))
+
+    def _record_scored(
+        self,
+        audit: "AuditLog",
+        action: str,
+        reason: str,
+        reciprocals: Sequence[float],
+        current: Sequence[int],
+        target: tuple[int, ...],
+        current_unf: float,
+        predicted: float,
+        scores: list[tuple[tuple[int, ...], float]],
+        plan: list[tuple[int, int, int]] | None,
+    ) -> None:
+        gpu = self.gpu
+        audit.record_decision(DecisionAudit(
+            policy=self.name,
+            interval=len(gpu.interval_history) - 1,
+            cycle=gpu.engine.now,
+            current=tuple(current),
+            action=action,
+            reason=reason,
+            reciprocals=list(reciprocals),
+            target=target,
+            current_unfairness=current_unf,
+            predicted_unfairness=predicted,
+            interpolation=interpolation_table(
+                reciprocals, current, self.config.n_sms
+            ),
+            candidates=scores,
+            plan=plan,
+        ))
+
+    # ------------------------------------------------------------ migration
+
+    @staticmethod
+    def _plan(
+        current: Sequence[int], target: Sequence[int]
+    ) -> list[tuple[int, int, int]]:
+        """Donor→taker transfer triples, in ``migrate_sms`` call order."""
         deltas = [t - c for c, t in zip(current, target)]
         donors = [(i, -d) for i, d in enumerate(deltas) if d < 0]
         takers = [(i, d) for i, d in enumerate(deltas) if d > 0]
+        plan: list[tuple[int, int, int]] = []
         di = ti = 0
         while di < len(donors) and ti < len(takers):
             d_app, d_avail = donors[di]
             t_app, t_need = takers[ti]
             k = min(d_avail, t_need)
-            self.gpu.migrate_sms(d_app, t_app, k)
+            plan.append((d_app, t_app, k))
             d_avail -= k
             t_need -= k
             donors[di] = (d_app, d_avail)
@@ -198,3 +333,8 @@ class DASEFairPolicy(AllocationPolicy):
                 di += 1
             if t_need == 0:
                 ti += 1
+        return plan
+
+    def _apply(self, plan: list[tuple[int, int, int]]) -> None:
+        for d_app, t_app, k in plan:
+            self.gpu.migrate_sms(d_app, t_app, k)

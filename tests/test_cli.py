@@ -118,6 +118,96 @@ def test_inspect_unrecognized_file_fails(tmp_path):
         main(["inspect", str(junk)])
 
 
+def test_inspect_missing_and_corrupt_fail_with_one_line_message(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["inspect", str(tmp_path / "nope")])
+    msg = str(exc.value)
+    assert msg.startswith("repro inspect:") and "\n" not in msg
+
+    corrupt = tmp_path / "run.json"
+    corrupt.write_text("{broken")
+    with pytest.raises(SystemExit) as exc:
+        main(["inspect", str(tmp_path)])
+    msg = str(exc.value)
+    assert "not valid JSON" in msg and "\n" not in msg
+
+
+def test_trace_parser_audit_and_policy_flags():
+    args = build_parser().parse_args(["trace", "SD", "SB", "--audit"])
+    assert args.audit is True and args.policy == "none"
+    args = build_parser().parse_args(
+        ["trace", "SD", "SB", "--policy", "dase-fair"]
+    )
+    assert args.policy == "dase-fair" and args.audit is False
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "SD", "SB", "--policy", "bogus"])
+
+
+def test_diff_parser_flags():
+    args = build_parser().parse_args(
+        ["diff", "a", "b", "--rel-tol", "0.01", "--only",
+         "workload.estimates", "--json"]
+    )
+    assert args.a == "a" and args.b == "b"
+    assert args.rel_tol == 0.01
+    assert args.only == "workload.estimates"
+    assert args.json is True
+
+
+def test_diff_missing_input_fails_with_one_line_message(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")])
+    msg = str(exc.value)
+    assert msg.startswith("repro diff:") and "\n" not in msg
+
+
+def test_diff_cli_verdicts(tmp_path, capsys):
+    import json
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"x": 1.0, "y": [1, 2]}))
+    b.write_text(json.dumps({"x": 1.0, "y": [1, 2]}))
+    assert main(["diff", str(a), str(b)]) == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+
+    b.write_text(json.dumps({"x": 1.5, "y": [1, 2]}))
+    assert main(["diff", str(a), str(b)]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+    assert main(["diff", str(a), str(b), "--json"]) == 1
+    verdict = json.loads(capsys.readouterr().out)
+    assert verdict["schema"] == "repro.obs.diff/1"
+    assert verdict["identical"] is False
+    assert verdict["drift"][0]["path"] == "x"
+
+
+@pytest.mark.slow
+def test_trace_audit_end_to_end(tmp_path, capsys):
+    import json
+
+    out_dir = str(tmp_path / "obs_run")
+    rc = main([
+        "trace", "SD", "SB", "--cycles", "24000", "--models", "DASE",
+        "--audit", "--out", out_dir, "--format", "html",
+    ])
+    assert rc == 0
+    audit_payload = json.loads(
+        (tmp_path / "obs_run" / "audit.json").read_text()
+    )
+    assert audit_payload["schema"] == "repro.obs.audit/1"
+    assert audit_payload["summary"]["model_records"] > 0
+    assert audit_payload["summary"]["decision_records"] > 0
+    html = (tmp_path / "obs_run" / "report.html").read_text()
+    assert "relative error per interval" in html
+    assert "DASE-Fair decision timeline" in html
+    manifest = json.loads((tmp_path / "obs_run" / "run.json").read_text())
+    assert manifest["audit"]["model_records"] > 0
+    assert manifest["files"]["audit"] == "audit.json"
+    out = capsys.readouterr().out
+    assert "audit:" in out
+
+
 @pytest.mark.slow
 def test_run_workload_end_to_end(capsys):
     rc = main(["run", "QR", "CT", "--cycles", "30000", "--models", "DASE"])

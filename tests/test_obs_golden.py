@@ -83,3 +83,88 @@ def test_traced_equals_untraced_bit_for_bit():
     assert json.dumps(traced.to_dict(), sort_keys=True) == json.dumps(
         untraced.to_dict(), sort_keys=True
     )
+
+
+# --------------------------------------------------------------- audit layer
+
+
+def _measure_audited(combo):
+    """Audited run: audit log + the dry-run shadow scheduler, whose private
+    DASE emits the model audits.
+
+    The goldens were recorded with ``models=()``, so the comparison keeps
+    that: DASE and the shadow policy are pure observers, whereas MISE/ASM
+    attach a priority rotator that *by design* changes memory arbitration
+    — estimator choice is a run parameter, not an observability layer.
+    """
+    from repro.policies import DASEFairPolicy
+
+    obs = Observation(audit=True)
+    res = run_workload(
+        list(combo), config=scaled_config(),
+        shared_cycles=SHARED_CYCLES, models=(),
+        policy=DASEFairPolicy(scaled_config(), dry_run=True), trace=obs,
+    )
+    return res, obs
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("combo", [PAIR, QUAD], ids=["pair", "quad"])
+def test_audited_matches_golden(golden, combo):
+    """Audited runs (shadow policy + audit log) reproduce the committed
+    goldens bit-identically — auditing never perturbs the sim."""
+    res, obs = _measure_audited(combo)
+    kind = "pairs" if len(combo) == 2 else "quads"
+    _assert_matches(res, golden[kind]["+".join(combo)])
+    # The audit really happened (not a vacuous pass): the policy's DASE
+    # audited every app every interval, and every interval got a decision.
+    audit = obs.audit
+    assert audit is not None
+    assert audit.models() == ["DASE"]
+    n_intervals = SHARED_CYCLES // scaled_config().interval_cycles
+    assert len(audit.model_audits) == len(combo) * n_intervals
+    assert len(audit.decision_audits) == n_intervals
+    # Audit instants were mirrored into the trace ring.
+    counts = obs.tracer.counts_by_name()
+    assert counts["audit.model"] == len(audit.model_audits)
+    assert counts["policy.decision"] == len(audit.decision_audits)
+
+
+@pytest.mark.slow
+def test_audited_equals_plain_bit_for_bit():
+    """The full result dict of an audited run is byte-identical to a plain
+    (untraced, unaudited, unscheduled) run's — the repro diff CI gate in
+    test form."""
+    audited, _ = _measure_audited(PAIR)
+    plain = run_workload(
+        list(PAIR), config=scaled_config(),
+        shared_cycles=SHARED_CYCLES, models=(),
+    )
+    assert json.dumps(audited.to_dict(), sort_keys=True) == json.dumps(
+        plain.to_dict(), sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_decision_targets_sum_to_sm_count():
+    """Every audited DASE-Fair target (and every scored candidate) is a
+    true partition of the GPU: parts ≥ 1 summing to n_sms — including
+    under a real (migrating) policy with draining in flight."""
+    from repro.policies import DASEFairPolicy
+
+    cfg = scaled_config()
+    obs = Observation(audit=True)
+    run_workload(
+        list(PAIR), config=cfg, shared_cycles=60_000, models=("DASE",),
+        policy=DASEFairPolicy(cfg), trace=obs,
+    )
+    audit = obs.audit
+    assert audit.decision_audits
+    assert any(d.action == "migrate" for d in audit.decision_audits)
+    for d in audit.decision_audits:
+        assert sum(d.current) == cfg.n_sms
+        if d.target is not None:
+            assert sum(d.target) == cfg.n_sms
+            assert min(d.target) >= 1
+        for cand, _unf in d.candidates or []:
+            assert sum(cand) == cfg.n_sms and min(cand) >= 1
