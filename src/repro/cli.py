@@ -30,6 +30,8 @@ def _cmd_list(args) -> int:
         ("fig8a", "sensitivity to the SM split"),
         ("fig8b", "sensitivity to the SM count"),
         ("fig9", "DASE-Fair vs even split"),
+        ("fig-degradation", "DASE error + fairness vs injected counter "
+                            "noise (repro.faults)"),
         ("run", "run an arbitrary workload: python -m repro run SD SB"),
         ("trace", "record a traced run: python -m repro trace SD SB"),
         ("inspect", "summarize a recorded run or Chrome trace"),
@@ -75,7 +77,7 @@ def _cmd_table3(args) -> int:
 def _cmd_fig(args) -> int:
     from repro.harness import experiments as ex
     from repro.harness import report as rp
-    from repro.harness.parallel import set_default_progress
+    from repro.harness.parallel import set_default_progress, set_sweep_defaults
 
     name = args.experiment
     # --progress / --sweep-log attach a live reporter (and a JSONL log) to
@@ -94,10 +96,24 @@ def _cmd_fig(args) -> int:
             set_default_progress(
                 lambda total: SweepProgress(total, label=name)
             )
+    retries = getattr(args, "retries", None) or 0
+    if retries < 0:
+        raise SystemExit(f"--retries must be >= 0, got {retries}")
+    timeout_s = getattr(args, "timeout", None)
+    if timeout_s is not None and timeout_s <= 0:
+        raise SystemExit(f"--timeout must be > 0, got {timeout_s}")
+    # --timeout / --retries / --resume-dir harden every sweep the driver
+    # runs, via the ambient sweep defaults (same pattern as progress).
+    set_sweep_defaults(
+        timeout_s=timeout_s,
+        retries=retries,
+        checkpoint_dir=getattr(args, "resume_dir", None),
+    )
     try:
         return _run_fig(args, ex, rp, name)
     finally:
         set_default_progress(None)
+        set_sweep_defaults(timeout_s=None, retries=0, checkpoint_dir=None)
         if logger is not None:
             logger.close()
 
@@ -129,9 +145,39 @@ def _run_fig(args, ex, rp, name: str) -> int:
             ex.fig8b_sm_count_sensitivity(**par), "Fig 8b — SM count"))
     elif name == "fig9":
         print(rp.render_fig9(ex.fig9_dase_fair(**par)))
+    elif name == "fig-degradation":
+        sigmas = None
+        if args.sigmas:
+            try:
+                sigmas = tuple(float(s) for s in args.sigmas.split(",") if s)
+            except ValueError:
+                raise SystemExit(f"bad --sigmas value {args.sigmas!r}")
+        res = ex.fig_degradation(
+            pair=tuple(args.pair) if args.pair else None,
+            sigmas=sigmas, seed=args.seed, **par,
+        )
+        print(rp.render_degradation(res))
+        if args.out:
+            _write_degradation_artifacts(args.out, res)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     return 0
+
+
+def _write_degradation_artifacts(out_dir: str, res) -> None:
+    import json
+    import pathlib
+
+    from repro.obs.report import export_degradation_report
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    with (out / "degradation.json").open("w") as fh:
+        json.dump(res.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    export_degradation_report(out / "report.html", res)
+    print(f"\ndegradation artifacts written to {out}/ "
+          "(degradation.json, report.html)", file=sys.stderr)
 
 
 def _cmd_run(args) -> int:
@@ -331,8 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
     t3.set_defaults(func=_cmd_table3)
 
     for fig in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "fig8a", "fig8b", "fig9"):
-        fp = sub.add_parser(fig, help=f"reproduce {fig}")
+                "fig8a", "fig8b", "fig9", "fig-degradation"):
+        if fig == "fig-degradation":
+            fp = sub.add_parser(
+                fig, help="degradation curves: DASE error + DASE-Fair "
+                          "fairness vs injected counter noise")
+        else:
+            fp = sub.add_parser(fig, help=f"reproduce {fig}")
         fp.add_argument("--limit", type=int, default=None,
                         help="limit the number of workloads swept")
         fp.add_argument("--jobs", type=int, default=None,
@@ -346,6 +397,30 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--sweep-log", default=None, metavar="PATH",
                         help="append one JSONL record per completed sweep "
                              "job to PATH (implies --progress)")
+        fp.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock timeout in seconds for "
+                             "pooled sweeps (hung workers are killed; "
+                             "default: none)")
+        fp.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry failed/crashed/timed-out sweep jobs up "
+                             "to N times with exponential backoff "
+                             "(default: 0)")
+        fp.add_argument("--resume-dir", default=None, metavar="DIR",
+                        help="checkpoint completed jobs under DIR so an "
+                             "interrupted sweep resumes instead of "
+                             "restarting (see docs/parallel-harness.md)")
+        if fig == "fig-degradation":
+            fp.add_argument("--pair", nargs=2, default=None,
+                            metavar=("APP1", "APP2"),
+                            help="workload pair to degrade (default: SD SB)")
+            fp.add_argument("--sigmas", default=None, metavar="S1,S2,..",
+                            help="comma-separated counter-noise intensities "
+                                 "(default: 0,0.05,0.1,0.2,0.4)")
+            fp.add_argument("--seed", type=int, default=7,
+                            help="fault seed shared by every σ (default: 7)")
+            fp.add_argument("--out", default=None, metavar="DIR",
+                            help="also write degradation.json and "
+                                 "report.html under DIR")
         fp.set_defaults(func=_cmd_fig, experiment=fig)
 
     rn = sub.add_parser("run", help="run an arbitrary workload")

@@ -102,6 +102,17 @@ class ASM(SlowdownEstimator):
                 "wasted_prio_time": wasted,
             }
         if audit is not None:
+            inputs = {
+                "alpha": rec.sm.alpha,
+                "ellc_miss": rec.ellc_miss,
+                "prio_accesses": d.prio_accesses[i],
+                "prio_time": d.prio_time[i],
+                "shared_accesses": d.shared_accesses[i],
+                "shared_time": d.shared_time[i],
+            }
+            fault = rec.extra.get("fault")
+            if fault:
+                inputs["fault"] = "+".join(fault)
             audit.record_model(ModelAudit(
                 model=self.name,
                 app=i,
@@ -109,14 +120,7 @@ class ASM(SlowdownEstimator):
                 cycle=rec.end,
                 estimate=est,
                 reciprocal=None if est is None else 1.0 / max(est, 1.0),
-                inputs={
-                    "alpha": rec.sm.alpha,
-                    "ellc_miss": rec.ellc_miss,
-                    "prio_accesses": d.prio_accesses[i],
-                    "prio_time": d.prio_time[i],
-                    "shared_accesses": d.shared_accesses[i],
-                    "shared_time": d.shared_time[i],
-                },
+                inputs=inputs,
                 terms=terms,
                 skip_reason=skip,
             ))

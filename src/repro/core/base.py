@@ -17,6 +17,7 @@ from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
     from repro.obs.audit import AuditLog
 
 
@@ -34,6 +35,10 @@ class SlowdownEstimator(abc.ABC):
         #: Audit sink (repro.obs.audit), resolved once at attach time —
         #: None keeps the unaudited path to a single attribute check.
         self._audit: "AuditLog | None" = None
+        #: Fault injector (repro.faults), or None for the exact-counter
+        #: path — same zero-overhead shape as ``_audit``: the unfaulted
+        #: run pays one attribute check per interval, nothing more.
+        self._faults: "FaultInjector | None" = None
 
     def attach(self, gpu: GPU) -> None:
         if self.gpu is not None:
@@ -43,8 +48,31 @@ class SlowdownEstimator(abc.ABC):
             self._audit = gpu.obs.audit
         gpu.add_interval_listener(self._on_interval)
 
+    def inject_faults(self, injector: "FaultInjector | None") -> None:
+        """Route this estimator's interval inputs through ``injector``.
+
+        Must be called before the run starts; pass None to restore the
+        exact-counter path.  All consumers of one run should share a
+        single injector so they agree on the delivered view.
+        """
+        self._faults = injector
+
     def _on_interval(self, records: list[IntervalRecord]) -> None:
-        self.history.append(self.estimate_interval(records))
+        inj = self._faults
+        if inj is None:
+            self.history.append(self.estimate_interval(records))
+            return
+        # gpu.interval_history gains the record list *before* listeners
+        # fire, so the current interval index is len - 1.
+        view = inj.deliver(len(self.gpu.interval_history) - 1, records)
+        row = self.estimate_interval(view.records)
+        if view.skipped:
+            # Nothing arrived for these apps this interval: no estimate.
+            row = [
+                None if app in view.skipped else est
+                for app, est in enumerate(row)
+            ]
+        self.history.append(row)
 
     @abc.abstractmethod
     def estimate_interval(

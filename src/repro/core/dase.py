@@ -103,6 +103,11 @@ class DASE(SlowdownEstimator):
             "tb_running": rec.tb_running,
             "tb_unfinished": rec.tb_unfinished,
         }
+        fault = rec.extra.get("fault")
+        if fault:
+            # Perturbed delivery (repro.faults) — name the fault kinds so a
+            # surprising estimate in the audit stream explains itself.
+            inputs["fault"] = "+".join(fault)
         terms = {
             "mbb": bd.mbb,
             "time_bank": bd.time_bank,

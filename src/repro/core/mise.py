@@ -97,6 +97,17 @@ class MISE(SlowdownEstimator):
                 "intensive": intensive,
             }
         if audit is not None:
+            inputs = {
+                "alpha": rec.sm.alpha,
+                "prio_requests": d.prio_requests[i],
+                "prio_time": d.prio_time[i],
+                "shared_requests": d.shared_requests[i],
+                "shared_time": d.shared_time[i],
+                "intensive_alpha": self.intensive_alpha,
+            }
+            fault = rec.extra.get("fault")
+            if fault:
+                inputs["fault"] = "+".join(fault)
             audit.record_model(ModelAudit(
                 model=self.name,
                 app=i,
@@ -104,14 +115,7 @@ class MISE(SlowdownEstimator):
                 cycle=rec.end,
                 estimate=est,
                 reciprocal=None if est is None else 1.0 / max(est, 1.0),
-                inputs={
-                    "alpha": rec.sm.alpha,
-                    "prio_requests": d.prio_requests[i],
-                    "prio_time": d.prio_time[i],
-                    "shared_requests": d.shared_requests[i],
-                    "shared_time": d.shared_time[i],
-                    "intensive_alpha": self.intensive_alpha,
-                },
+                inputs=inputs,
                 terms=terms,
                 skip_reason=skip,
             ))

@@ -1,0 +1,62 @@
+"""repro.faults — deterministic fault injection for estimators and harness.
+
+Two planes (docs/faults.md):
+
+* **Model plane** — :class:`FaultPlan` / :class:`AppFaults` describe how
+  hardware-counter delivery is distorted (noise, quantization, drops,
+  delay, ATD sampling-rate cuts); :class:`FaultInjector` applies a plan
+  deterministically at every ``estimate_interval`` boundary, and
+  ``run_workload(faults=plan)`` wires it into DASE/MISE/ASM and the
+  DASE-Fair policy.  ``repro fig-degradation`` charts estimate error and
+  unfairness against fault intensity.
+
+* **Harness plane** — :class:`ChaosJob` work units that raise, die, hang,
+  or return corrupt results, used by the chaos suite to prove the
+  hardened sweep harness (timeouts, retries, crash isolation, cache
+  quarantine, checkpoint/resume) survives all of them.
+
+The zero-intensity contract: a null plan (or no plan) is bit-identical to
+the unfaulted simulator — golden-enforced.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import (
+    MODE_BAD_RESULT,
+    MODE_EXIT,
+    MODE_FLAKY,
+    MODE_HANG,
+    MODE_OK,
+    MODE_RAISE,
+    ChaosJob,
+)
+from repro.faults.inject import (
+    DeliveredInterval,
+    FaultInjector,
+    resolve_injector,
+)
+from repro.faults.plan import (
+    DROP_SKIP,
+    DROP_STALE,
+    AppFaults,
+    FaultPlan,
+    noise_plan,
+)
+
+__all__ = [
+    "AppFaults",
+    "FaultPlan",
+    "noise_plan",
+    "DROP_STALE",
+    "DROP_SKIP",
+    "FaultInjector",
+    "DeliveredInterval",
+    "resolve_injector",
+    "ChaosJob",
+    "MODE_OK",
+    "MODE_RAISE",
+    "MODE_EXIT",
+    "MODE_HANG",
+    "MODE_BAD_RESULT",
+    "MODE_FLAKY",
+]

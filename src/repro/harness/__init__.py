@@ -9,12 +9,19 @@ from repro.harness.runner import (
     run_workload,
     scaled_config,
 )
+from repro.harness.checkpoint import SweepCheckpoint, resolve_checkpoint
 from repro.harness.parallel import (
+    FAIL_CRASH,
+    FAIL_EXCEPTION,
+    FAIL_TIMEOUT,
+    FAIL_TRANSPORT,
     JobOutcome,
     WorkloadJob,
     run_jobs,
     run_workloads,
     set_default_progress,
+    set_sweep_defaults,
+    sweep_defaults,
 )
 from repro.harness.persist import (
     atomic_write_json,
@@ -38,6 +45,14 @@ __all__ = [
     "run_jobs",
     "run_workloads",
     "set_default_progress",
+    "set_sweep_defaults",
+    "sweep_defaults",
+    "FAIL_EXCEPTION",
+    "FAIL_CRASH",
+    "FAIL_TIMEOUT",
+    "FAIL_TRANSPORT",
+    "SweepCheckpoint",
+    "resolve_checkpoint",
     "AloneReplayCache",
     "resolve_cache",
     "Telemetry",

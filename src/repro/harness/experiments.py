@@ -11,7 +11,8 @@ import os
 from dataclasses import dataclass, field
 
 from repro.config import GPUConfig
-from repro.harness.parallel import run_workloads
+from repro.faults import noise_plan
+from repro.harness.parallel import WorkloadJob, run_jobs, run_workloads
 from repro.harness.runner import (
     WorkloadResult,
     default_shared_cycles,
@@ -384,4 +385,113 @@ def fig9_dase_fair(
         out.unfairness_fair[key] = fair.actual_unfairness
         out.hspeedup_even[key] = even.actual_hspeedup
         out.hspeedup_fair[key] = fair.actual_hspeedup
+    return out
+
+
+# --------------------------------------------------- degradation under faults
+
+
+#: Default counter-noise intensities for the degradation sweep.  σ = 0 is
+#: the exact-counter anchor; the top value is already "a counter you
+#: shouldn't trust" (±~55% at one standard deviation).
+DEFAULT_SIGMAS: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+@dataclass
+class DegradationResult:
+    """DASE accuracy and DASE-Fair fairness vs counter-fault intensity.
+
+    One point per noise σ, all sharing ``seed`` so the curve is a
+    continuous deformation of a single noise realization (the injector's
+    common-random-numbers contract, docs/faults.md): ``dase_error`` from
+    policy-free runs (estimation degradation in isolation), ``unfairness``
+    from DASE-Fair runs of the same workload (fault-misled migrations
+    feeding back into the execution).
+    """
+
+    pair: tuple[str, ...]
+    sigmas: list[float]
+    seed: int
+    dase_error: dict[float, float]  # σ → mean DASE relative error
+    unfairness: dict[float, float]  # σ → actual unfairness under DASE-Fair
+    failures: dict[str, str] = field(default_factory=dict)
+
+    def error_curve(self) -> list[tuple[float, float]]:
+        return [(s, self.dase_error[s]) for s in self.sigmas
+                if s in self.dase_error]
+
+    def unfairness_curve(self) -> list[tuple[float, float]]:
+        return [(s, self.unfairness[s]) for s in self.sigmas
+                if s in self.unfairness]
+
+    def error_is_monotone(self, tolerance: float = 0.0) -> bool:
+        """Whether DASE error is non-decreasing in σ (± ``tolerance``)."""
+        curve = self.error_curve()
+        return all(
+            b[1] >= a[1] - tolerance for a, b in zip(curve, curve[1:])
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pair": list(self.pair),
+            "sigmas": list(self.sigmas),
+            "seed": self.seed,
+            "dase_error": {str(s): e for s, e in self.dase_error.items()},
+            "unfairness": {str(s): u for s, u in self.unfairness.items()},
+            "error_monotone": self.error_is_monotone(),
+            "failures": dict(self.failures),
+        }
+
+
+def fig_degradation(
+    pair: tuple[str, str] | None = None,
+    sigmas: tuple[float, ...] | None = None,
+    seed: int = 7,
+    config: GPUConfig | None = None,
+    shared_cycles: int | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> DegradationResult:
+    """Degradation curves: estimate error and unfairness vs counter noise.
+
+    For each σ, two independent runs of the same pair: one policy-free
+    (DASE accuracy under distorted counters) and one under DASE-Fair (how
+    much fairness the scheduler loses when its estimator is misled).  All
+    2·N runs fan out together under ``jobs``; every σ shares the same
+    fault seed, so points differ only in intensity, never in realization.
+
+    The σ = 0 anchors are bit-identical to unfaulted runs (a null plan
+    creates no injector), so the curve's origin doubles as a golden check.
+    """
+    pair = tuple(pair or ("SD", "SB"))
+    sigmas = tuple(sigmas if sigmas is not None else DEFAULT_SIGMAS)
+    shared_cycles = shared_cycles or default_shared_cycles()
+    job_list: list[WorkloadJob] = []
+    for policy in (None, "dase_fair"):
+        for sigma in sigmas:
+            job_list.append(WorkloadJob(
+                apps=pair,
+                config=config,
+                shared_cycles=shared_cycles,
+                models=("DASE",),
+                policy=policy,
+                cache_dir=cache_dir,
+                faults=noise_plan(sigma, seed=seed) if sigma > 0 else None,
+            ))
+    outcomes = run_jobs(job_list, n_jobs=jobs)
+    out = DegradationResult(
+        pair=pair, sigmas=list(sigmas), seed=seed,
+        dase_error={}, unfairness={},
+    )
+    n = len(sigmas)
+    for sigma, outcome in zip(sigmas, outcomes[:n]):
+        if not outcome.ok:
+            out.failures[f"accuracy@{sigma}"] = outcome.error or "failed"
+            continue
+        out.dase_error[sigma] = outcome.result.mean_error("DASE")
+    for sigma, outcome in zip(sigmas, outcomes[n:]):
+        if not outcome.ok:
+            out.failures[f"fair@{sigma}"] = outcome.error or "failed"
+            continue
+        out.unfairness[sigma] = outcome.result.actual_unfairness
     return out

@@ -1,4 +1,4 @@
-"""Process-pool experiment runner.
+"""Process-pool experiment runner, hardened against misbehaving workers.
 
 Figure sweeps are embarrassingly parallel: each :func:`run_workload` call
 is independent of every other, and the simulator is deterministic, so a
@@ -8,7 +8,7 @@ the fan-out machinery:
 
 * :class:`WorkloadJob` — a picklable description of one run (app names or
   :class:`KernelSpec` objects, config, cycles, partition, models, policy
-  name, cache directory);
+  name, fault plan, cache directory);
 * :func:`run_jobs` — execute jobs across a ``ProcessPoolExecutor`` (or
   inline for ``jobs <= 1``), returning :class:`JobOutcome` objects in
   submission order with per-job failures captured instead of aborting the
@@ -17,24 +17,74 @@ the fan-out machinery:
 
 Policies cross the process boundary by *name* (see :data:`POLICIES`), not
 as live objects, because a policy instance holds simulator state.
+
+Hardening (docs/parallel-harness.md): ``run_jobs`` survives workers that
+raise, die without unwinding (``os._exit``, SIGKILL, segfault), hang past
+a per-job timeout, or return results whose pickle explodes at the parent.
+A ``ProcessPoolExecutor`` whose worker dies hard marks *every* pending
+future ``BrokenProcessPool`` and becomes unusable, so the pooled path runs
+in **generations**: each generation gets a fresh pool, finished jobs
+settle permanently, and unfinished ones carry over.  Breadcrumb files
+written by the workers (``job-<i>.started`` / ``job-<i>.done``) let the
+parent reconstruct *which* job took the pool down:
+
+* ``started`` + ``done`` but the future broke → result transport failed
+  (``result-transport``) — charged only when the job ran isolated, since
+  in a shared pool the lost result may be a sibling's fault;
+* ``started``, no ``done``, killed by the timeout enforcer → ``timeout``;
+* ``started``, no ``done``, pool died with no other explanation → crash
+  suspect (``crash``), with the worker's stderr tail attached — every
+  concurrently-running job is blamed (the pool cannot say which worker
+  died), so give crashy sweeps a retry budget;
+* never ``started`` → innocent bystander, requeued without spending an
+  attempt.
+
+Crash suspects are then **isolated**: the next generations run each
+suspect alone in a single-worker pool, so a further break is attributable
+to exactly that job and innocent bystanders of the original break finish
+their retry solo instead of being taken down by the real crasher again
+and again.
+
+Failed attempts retry up to ``retries`` times with exponential backoff +
+jitter.  ``checkpoint`` (a directory) makes completed jobs durable so an
+interrupted sweep resumes instead of restarting
+(:class:`repro.harness.checkpoint.SweepCheckpoint`).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+import random
+import shutil
+import signal
+import tempfile
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.config import GPUConfig
 from repro.harness.replay_cache import AloneReplayCache, resolve_cache
 from repro.harness.runner import WorkloadResult, run_workload, scaled_config
 from repro.sim.kernel import KernelSpec
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.faults.plan import FaultPlan
+    from repro.harness.checkpoint import SweepCheckpoint
+
 #: Policies constructible inside a worker process, by name.  Each factory
 #: takes the resolved :class:`GPUConfig` of the run.
 POLICIES: dict[str, Callable[[GPUConfig], object]] = {}
+
+#: ``JobOutcome.failure_kind`` values.
+FAIL_EXCEPTION = "exception"          # job raised; traceback captured
+FAIL_CRASH = "crash"                  # worker died without unwinding
+FAIL_TIMEOUT = "timeout"              # killed by the per-job timeout
+FAIL_TRANSPORT = "result-transport"   # finished, result unpicklable/lost
 
 
 def _register_policies() -> None:
@@ -51,6 +101,9 @@ class WorkloadJob:
 
     ``apps`` may mix suite names and frozen :class:`KernelSpec` objects —
     both pickle cleanly.  ``policy`` is a :data:`POLICIES` key or None.
+    ``faults`` optionally distorts the counter stream the estimators see
+    (:class:`repro.faults.FaultPlan` — frozen, so it fingerprints and
+    pickles like every other field).
     """
 
     apps: tuple[KernelSpec | str, ...]
@@ -61,6 +114,7 @@ class WorkloadJob:
     policy: str | None = None
     warmup_intervals: int = 1
     cache_dir: str | None = None
+    faults: "FaultPlan | None" = None
 
     @property
     def key(self) -> str:
@@ -73,7 +127,12 @@ class JobOutcome:
 
     Exactly one of ``result``/``error`` is set; ``error`` carries the
     worker-side traceback text so a failed pair diagnoses itself without
-    killing the other 104.
+    killing the other 104.  ``attempts`` counts executions (1 = first try
+    succeeded); ``failure_kind`` classifies the *final* failure (one of
+    :data:`FAIL_EXCEPTION`/:data:`FAIL_CRASH`/:data:`FAIL_TIMEOUT`/
+    :data:`FAIL_TRANSPORT`); ``stderr_tail`` is the dying worker's last
+    stderr output when one could be attributed; ``resumed`` marks results
+    restored from a sweep checkpoint rather than executed.
     """
 
     index: int
@@ -84,6 +143,10 @@ class JobOutcome:
     #: Alone-replay cache counters for this job ({"hits", "misses",
     #: "stores"}), or None when the job ran uncached.
     cache: dict | None = None
+    attempts: int = 1
+    failure_kind: str | None = None
+    stderr_tail: str | None = None
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -124,6 +187,7 @@ def _execute_with_cache(
         policy=policy,
         warmup_intervals=job.warmup_intervals,
         alone_cache=cache,
+        faults=job.faults,
     )
     cache_stats = (
         {"hits": cache.hits, "misses": cache.misses, "stores": cache.stores}
@@ -138,19 +202,101 @@ def execute_job(job: WorkloadJob) -> WorkloadResult:
     return _execute_with_cache(job)[0]
 
 
+def _run_job(job) -> tuple[object, dict | None]:
+    """Execute one job of any flavour.
+
+    A job exposing ``execute()`` (e.g. :class:`repro.faults.ChaosJob`)
+    runs that; everything else is a :class:`WorkloadJob`.
+    """
+    execute = getattr(job, "execute", None)
+    if execute is not None:
+        return execute(), None
+    return _execute_with_cache(job)
+
+
 def _guarded(indexed_job: tuple[int, WorkloadJob]) -> JobOutcome:
     """Top-level (picklable) wrapper: never raises, captures tracebacks."""
     index, job = indexed_job
     t0 = time.perf_counter()
     try:
-        result, cache_stats = _execute_with_cache(job)
+        result, cache_stats = _run_job(job)
         return JobOutcome(index, job, result=result,
                           duration_s=time.perf_counter() - t0,
                           cache=cache_stats)
     except Exception:
         return JobOutcome(index, job, error=traceback.format_exc(),
-                          duration_s=time.perf_counter() - t0)
+                          duration_s=time.perf_counter() - t0,
+                          failure_kind=FAIL_EXCEPTION)
 
+
+# --------------------------------------------------------------------------
+# Worker-side breadcrumbs: the parent cannot ask a dead worker what it was
+# doing, so workers leave evidence on disk *before* doing anything risky.
+# --------------------------------------------------------------------------
+
+
+def _worker_stderr_init(scratch: str) -> None:
+    """Pool initializer: tee this worker's OS-level stderr into the sweep
+    scratch directory, so a hard death (segfault banner, fatal-error dump,
+    anything written to fd 2) survives the process and can be attached to
+    the blamed job's outcome."""
+    try:
+        path = os.path.join(scratch, f"stderr-{os.getpid()}.log")
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        os.dup2(fd, 2)
+        os.close(fd)
+    except OSError:  # pragma: no cover - scratch vanished; run uncaptured
+        pass
+
+
+def _tracked(index: int, job, scratch: str, attempt: int) -> JobOutcome:
+    """Worker entry point: breadcrumbs around the guarded execution."""
+    started = {
+        "pid": os.getpid(),
+        "t0": time.time(),
+        "key": getattr(job, "key", repr(job)),
+        "attempt": attempt,
+    }
+    base = pathlib.Path(scratch)
+    try:
+        (base / f"job-{index}.started").write_text(json.dumps(started))
+    except OSError:  # pragma: no cover - scratch vanished mid-sweep
+        pass
+    outcome = _guarded((index, job))
+    outcome.attempts = attempt
+    try:
+        (base / f"job-{index}.done").write_text("1")
+    except OSError:  # pragma: no cover
+        pass
+    return outcome
+
+
+def _read_started(scratch: pathlib.Path, index: int) -> dict | None:
+    try:
+        return json.loads((scratch / f"job-{index}.started").read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _stderr_tail(
+    scratch: pathlib.Path, started: dict | None, limit: int = 2000
+) -> str | None:
+    """Last ``limit`` characters the blamed worker wrote to stderr."""
+    if not started:
+        return None
+    try:
+        text = (scratch / f"stderr-{started['pid']}.log").read_text(
+            errors="replace"
+        )
+    except (OSError, KeyError):
+        return None
+    text = text.strip()
+    return text[-limit:] if text else None
+
+
+# --------------------------------------------------------------------------
+# Ambient sweep configuration
+# --------------------------------------------------------------------------
 
 #: Ambient progress factory (``total_jobs -> reporter or None``): lets a
 #: CLI entry point attach live progress to every sweep an experiment driver
@@ -169,18 +315,94 @@ def set_default_progress(factory: Callable[[int], object] | None) -> None:
     _PROGRESS_FACTORY = factory
 
 
+_UNSET = object()
+
+#: Ambient resilience defaults, consumed by :func:`run_jobs` when the
+#: caller passes None — the same pattern as the progress factory, so the
+#: CLI's ``--timeout/--retries/--resume-dir`` flags reach every sweep a
+#: figure driver runs without new parameters on each driver.
+_SWEEP_DEFAULTS: dict = {
+    "timeout_s": None,
+    "retries": 0,
+    "backoff_s": 0.5,
+    "checkpoint_dir": None,
+}
+
+
+def set_sweep_defaults(
+    timeout_s=_UNSET, retries=_UNSET, backoff_s=_UNSET, checkpoint_dir=_UNSET
+) -> None:
+    """Set ambient defaults for sweep resilience (only the passed ones)."""
+    if timeout_s is not _UNSET:
+        _SWEEP_DEFAULTS["timeout_s"] = timeout_s
+    if retries is not _UNSET:
+        if retries is not None and retries < 0:
+            raise ValueError("retries must be >= 0")
+        _SWEEP_DEFAULTS["retries"] = retries
+    if backoff_s is not _UNSET:
+        _SWEEP_DEFAULTS["backoff_s"] = backoff_s
+    if checkpoint_dir is not _UNSET:
+        _SWEEP_DEFAULTS["checkpoint_dir"] = checkpoint_dir
+
+
+def sweep_defaults() -> dict:
+    """A copy of the current ambient sweep defaults."""
+    return dict(_SWEEP_DEFAULTS)
+
+
+def _backoff_sleep(backoff_s: float, generation: int) -> None:
+    if backoff_s <= 0:
+        return
+    delay = min(backoff_s * (2 ** generation), 30.0)
+    delay *= 1.0 + 0.25 * (2.0 * random.random() - 1.0)  # ±25% jitter
+    time.sleep(delay)
+
+
+# --------------------------------------------------------------------------
+# The sweep loop
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """Parent-side state for one not-yet-settled job."""
+
+    job: object
+    attempts: int = 0            # attempts consumed so far
+    last: JobOutcome | None = None
+    #: Blamed for an unexplained pool break: next attempt runs isolated
+    #: (alone in a single-worker pool) so guilt becomes attributable.
+    suspect: bool = False
+
+
 def run_jobs(
     jobs: Sequence[WorkloadJob],
     n_jobs: int | None = None,
     progress=None,
+    *,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    backoff_s: float | None = None,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
 ) -> list[JobOutcome]:
     """Execute ``jobs``, fanning out across ``n_jobs`` worker processes.
 
     ``n_jobs`` of None/0/1 runs inline (no pool, no pickling) — handy for
     debugging and for callers that just want the failure-capturing
     contract.  Outcomes always come back ordered by submission index,
-    regardless of which worker finished first, and a job that raises is
-    returned as a failed :class:`JobOutcome` rather than aborting the rest.
+    regardless of which worker finished first, and a job that fails — by
+    raising, by killing its worker, by hanging past ``timeout_s``, or by
+    returning a result the parent cannot unpickle — is returned as a
+    failed :class:`JobOutcome` rather than aborting the rest.
+
+    ``retries`` re-runs failed attempts (any failure kind) up to that many
+    extra times, sleeping ``backoff_s · 2^generation`` (±25% jitter)
+    between generations.  ``timeout_s`` kills a worker whose job exceeds
+    it (pooled runs only; inline jobs cannot be preempted).  ``checkpoint``
+    names a directory for partial-sweep durability: completed
+    :class:`WorkloadResult`s are restored from it instead of recomputed,
+    and newly completed ones are appended to it.  Each of these falls back
+    to the ambient default (:func:`set_sweep_defaults`) when None.
 
     ``progress`` (or, if None, the factory installed with
     :func:`set_default_progress`) receives each :class:`JobOutcome` as it
@@ -190,36 +412,254 @@ def run_jobs(
     indexed = list(enumerate(jobs))
     if not indexed:
         return []
+    if timeout_s is None:
+        timeout_s = _SWEEP_DEFAULTS["timeout_s"]
+    if retries is None:
+        retries = _SWEEP_DEFAULTS["retries"]
+    if backoff_s is None:
+        backoff_s = _SWEEP_DEFAULTS["backoff_s"]
+    if checkpoint is None:
+        checkpoint = _SWEEP_DEFAULTS["checkpoint_dir"]
+    from repro.harness.checkpoint import resolve_checkpoint
+
+    cp = resolve_checkpoint(checkpoint, jobs)
+
     prog = progress
     if prog is None and _PROGRESS_FACTORY is not None:
         prog = _PROGRESS_FACTORY(len(indexed))
-    workers = min(n_jobs or 1, len(indexed))
+
+    outcomes: dict[int, JobOutcome] = {}
+
+    def settle(outcome: JobOutcome) -> None:
+        outcomes[outcome.index] = outcome
+        if cp is not None and outcome.ok and not outcome.resumed:
+            cp.record(outcome)
+        if prog is not None:
+            prog.job_done(outcome)
+
     try:
+        if cp is not None:
+            for index, result in sorted(cp.load().items()):
+                settle(JobOutcome(
+                    index, jobs[index], result=result, resumed=True,
+                ))
+        todo = [(i, job) for i, job in indexed if i not in outcomes]
+        workers = min(n_jobs or 1, len(indexed))
         if workers <= 1:
-            outcomes = []
-            for ij in indexed:
-                outcome = _guarded(ij)
-                if prog is not None:
-                    prog.job_done(outcome)
-                outcomes.append(outcome)
-            return outcomes
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if prog is None:
-                outcomes = list(pool.map(_guarded, indexed, chunksize=1))
-            else:
-                # submit + as_completed so the reporter sees each job the
-                # moment it finishes rather than in submission order.
-                futures = [pool.submit(_guarded, ij) for ij in indexed]
-                outcomes = []
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    prog.job_done(outcome)
-                    outcomes.append(outcome)
-        outcomes.sort(key=lambda o: o.index)
-        return outcomes
+            _run_inline(todo, retries, backoff_s, settle)
+        elif todo:
+            _run_pool(
+                todo, workers, timeout_s, retries, backoff_s, settle,
+            )
+        return [outcomes[i] for i in range(len(indexed))]
     finally:
         if prog is not None:
             prog.close()
+
+
+def _run_inline(
+    todo: list[tuple[int, object]],
+    retries: int,
+    backoff_s: float,
+    settle: Callable[[JobOutcome], None],
+) -> None:
+    """The no-pool path: sequential, with the same retry accounting.
+
+    Timeouts are not enforced inline — there is no worker to kill without
+    taking the caller down with it.
+    """
+    for index, job in todo:
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome = _guarded((index, job))
+            outcome.attempts = attempt
+            if outcome.ok or attempt > retries:
+                break
+            _backoff_sleep(backoff_s, attempt - 1)
+        settle(outcome)
+
+
+def _run_pool(
+    todo: list[tuple[int, object]],
+    workers: int,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    settle: Callable[[JobOutcome], None],
+) -> None:
+    """Generation-based resilient pool execution (module docstring)."""
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="repro-sweep-"))
+    pending: dict[int, _Pending] = {
+        i: _Pending(job=job) for i, job in todo
+    }
+    generation = 0
+    stalled = 0
+    try:
+        while pending:
+            # Crash suspects run one at a time in their own pool: a break
+            # there is attributable beyond doubt, and innocents blamed in
+            # a shared break get a solo retry the crasher cannot ruin.
+            suspects = sorted(i for i in pending if pending[i].suspect)
+            batch = suspects[:1] if suspects else sorted(pending)
+            for i in batch:  # clear breadcrumbs from earlier generations
+                for suffix in (".started", ".done"):
+                    try:
+                        (scratch / f"job-{i}{suffix}").unlink()
+                    except OSError:
+                        pass
+            killed: set[int] = set()
+            broken: dict[int, str] = {}
+            progressed = 0  # settles + blamed attempts this generation
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(batch)),
+                initializer=_worker_stderr_init,
+                initargs=(str(scratch),),
+            )
+            fut_index = {}
+            try:
+                for i in batch:
+                    p = pending[i]
+                    fut = pool.submit(
+                        _tracked, i, p.job, str(scratch), p.attempts + 1
+                    )
+                    fut_index[fut] = i
+            except BrokenProcessPool:
+                # Pool died while we were still submitting; unsubmitted
+                # jobs simply stay pending for the next generation.
+                pass
+            not_done = set(fut_index)
+            try:
+                while not_done:
+                    done, not_done = wait(
+                        not_done, timeout=0.05, return_when=FIRST_COMPLETED
+                    )
+                    for fut in done:
+                        i = fut_index[fut]
+                        try:
+                            outcome = fut.result()
+                        except BrokenProcessPool:
+                            broken[i] = "process pool broken"
+                            continue
+                        except BaseException as exc:
+                            broken[i] = f"{type(exc).__name__}: {exc}"
+                            continue
+                        p = pending[i]
+                        p.attempts += 1
+                        p.suspect = False  # it completed; exonerated
+                        outcome.attempts = p.attempts
+                        progressed += 1
+                        if outcome.ok or p.attempts > retries:
+                            settle(outcome)
+                            del pending[i]
+                        else:
+                            p.last = outcome  # retry next generation
+                    if timeout_s is not None and not_done:
+                        now = time.time()
+                        for i in batch:
+                            if i in killed or i in broken or i not in pending:
+                                continue
+                            if (scratch / f"job-{i}.done").exists():
+                                continue
+                            info = _read_started(scratch, i)
+                            if info and now - info["t0"] > timeout_s:
+                                try:
+                                    os.kill(info["pid"], signal.SIGKILL)
+                                except (OSError, KeyError):
+                                    pass
+                                killed.add(i)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+            # Post-mortem: assign blame for futures the pool never served.
+            # If the breakage has an *explained* cause — a timeout kill or
+            # a job that finished but whose result broke transport — then
+            # started-but-unfinished jobs are treated as innocent victims
+            # of the teardown and requeued for free.  With no explanation,
+            # the crasher must be among them, so they all pay an attempt.
+            explained = bool(killed) or any(
+                (scratch / f"job-{i}.done").exists() for i in broken
+            )
+            for i, msg in sorted(broken.items()):
+                p = pending.get(i)
+                if p is None:
+                    continue
+                started = _read_started(scratch, i)
+                done = (scratch / f"job-{i}.done").exists()
+                if i in killed:
+                    kind = FAIL_TIMEOUT
+                    desc = (
+                        f"killed after exceeding the per-job timeout "
+                        f"of {timeout_s}s"
+                    )
+                elif done:
+                    if len(batch) > 1:
+                        # Ambiguous in a shared pool: this job's finished
+                        # result may have been dropped when a *sibling's*
+                        # poisonous result broke the transport.  Isolate;
+                        # alone, a repeat is attributable beyond doubt.
+                        p.suspect = True
+                        progressed += 1
+                        continue
+                    kind = FAIL_TRANSPORT
+                    desc = f"worker finished but the result was lost: {msg}"
+                elif started is not None and not explained:
+                    kind = FAIL_CRASH
+                    desc = (
+                        f"worker (pid {started.get('pid')}) died without "
+                        f"unwinding: {msg}"
+                    )
+                    p.suspect = True  # isolate its next attempt
+                else:
+                    # Never started, or an innocent victim of an explained
+                    # teardown: requeue without spending an attempt.
+                    continue
+                p.attempts += 1
+                progressed += 1
+                tail = _stderr_tail(scratch, started)
+                key = getattr(p.job, "key", repr(p.job))
+                error = (
+                    f"[{kind}] job {key!r} attempt {p.attempts}: {desc}"
+                )
+                if tail:
+                    error += f"\n--- worker stderr tail ---\n{tail}"
+                outcome = JobOutcome(
+                    i, p.job, error=error, attempts=p.attempts,
+                    failure_kind=kind, stderr_tail=tail,
+                )
+                if p.attempts > retries:
+                    settle(outcome)
+                    del pending[i]
+                else:
+                    p.last = outcome
+
+            if progressed == 0:
+                stalled += 1
+                if stalled >= 3:
+                    # Nothing settles and nothing is even blamable — e.g.
+                    # the pool dies before any job starts, repeatedly.
+                    # Fail the remainder rather than spin forever.
+                    for i in sorted(pending):
+                        p = pending.pop(i)
+                        key = getattr(p.job, "key", repr(p.job))
+                        settle(JobOutcome(
+                            i, p.job, attempts=p.attempts,
+                            failure_kind=FAIL_CRASH,
+                            error=(
+                                f"[{FAIL_CRASH}] job {key!r}: worker pool "
+                                "died repeatedly before any job made "
+                                "progress; giving up on the remainder"
+                            ),
+                        ))
+                    break
+            else:
+                stalled = 0
+            if pending:
+                _backoff_sleep(backoff_s, generation)
+            generation += 1
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def run_workloads(
@@ -233,13 +673,18 @@ def run_workloads(
     warmup_intervals: int = 1,
     cache_dir: str | None = None,
     progress=None,
+    faults: "FaultPlan | None" = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
 ) -> list[JobOutcome]:
     """Sweep many workloads under one shared set of run parameters.
 
     ``cache_dir`` of None falls back to ``$REPRO_CACHE_DIR`` (see
     :func:`repro.harness.replay_cache.resolve_cache`); pass a path to
-    persist alone replays across invocations.  ``progress`` is forwarded
-    to :func:`run_jobs`.
+    persist alone replays across invocations.  ``progress``, ``faults``,
+    ``timeout_s``, ``retries``, and ``checkpoint`` are forwarded to
+    :func:`run_jobs` / each job.
     """
     if cache_dir is not None:
         AloneReplayCache(cache_dir)  # fail fast on an unusable directory
@@ -256,7 +701,11 @@ def run_workloads(
             policy=policy,
             warmup_intervals=warmup_intervals,
             cache_dir=cache_dir,
+            faults=faults,
         )
         for combo in workloads
     ]
-    return run_jobs(specs, n_jobs=jobs, progress=progress)
+    return run_jobs(
+        specs, n_jobs=jobs, progress=progress,
+        timeout_s=timeout_s, retries=retries, checkpoint=checkpoint,
+    )

@@ -15,6 +15,13 @@ key under a cache directory, which makes the cache safe under concurrent
 writers (each entry is written atomically via a temp file + rename; two
 workers racing on the same key write identical bytes).
 
+Entries are self-verifying: each file carries a SHA-256 checksum of its
+own payload, checked on every read.  A corrupt entry (truncated write,
+bit flip, concurrent filesystem damage) is *quarantined* — moved into
+``<dir>/quarantine/`` for post-mortem — and reported as a miss, so the
+caller recomputes and re-stores a good entry instead of crashing or,
+worse, silently trusting a damaged cycle count.
+
 The cache directory defaults to ``$REPRO_CACHE_DIR`` when set; callers
 normally pass an explicit directory (the CLI exposes ``--cache-dir``).
 """
@@ -27,6 +34,7 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 from typing import Any
 
 from repro.config import GPUConfig
@@ -71,6 +79,19 @@ def default_cache_dir() -> pathlib.Path | None:
     return pathlib.Path(d) if d else None
 
 
+def entry_checksum(entry: dict) -> str:
+    """Self-checksum of a cache entry: SHA-256 over the canonical JSON of
+    every field except ``checksum`` itself."""
+    body = {k: v for k, v in entry.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+#: Orphan ``*.tmp`` files younger than this are left alone on cache open —
+#: they may belong to a concurrent writer mid-``atomic_write_json``.
+TMP_SWEEP_AGE_S = 300.0
+
+
 class AloneReplayCache:
     """Maps (kernel, stream, config, instruction count) → alone cycles.
 
@@ -91,6 +112,44 @@ class AloneReplayCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries moved aside because their checksum failed (see
+        #: :meth:`_quarantine`); each is also counted as a miss.
+        self.quarantined = 0
+        #: Orphan temp files removed on open.
+        self.tmp_swept = self._sweep_tmp()
+
+    def _sweep_tmp(self) -> int:
+        """Remove orphan ``.*.tmp`` files left by interrupted atomic writes.
+
+        Only files older than :data:`TMP_SWEEP_AGE_S` go — a younger one
+        may be a concurrent worker's in-flight write (``atomic_write_json``
+        renames within well under a second, so anything older is dead).
+        """
+        if not self.directory.is_dir():
+            return 0
+        cutoff = time.time() - TMP_SWEEP_AGE_S
+        swept = 0
+        for tmp in self.directory.glob(".*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                continue  # raced with the owner or another sweeper
+        return swept
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry into ``<dir>/quarantine/`` for post-mortem
+        (never delete evidence) so the key recomputes to a good entry."""
+        qdir = self.directory / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Couldn't move it (permissions, races) — still treat the
+            # entry as a miss; the recompute will overwrite it in place.
+            pass
 
     def key(
         self,
@@ -126,11 +185,25 @@ class AloneReplayCache:
         try:
             with path.open() as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
             return None
-        cycles = entry.get("alone_cycles")
-        if not isinstance(cycles, int):
+        except (OSError, ValueError):
+            # Unreadable or not JSON: truncated write or on-disk damage.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        cycles = entry.get("alone_cycles") if isinstance(entry, dict) else None
+        stored_sum = entry.get("checksum") if isinstance(entry, dict) else None
+        if (
+            not isinstance(cycles, int)
+            or stored_sum != entry_checksum(entry)
+        ):
+            # Parsable but wrong: a flipped bit inside valid JSON is the
+            # dangerous case — without the checksum it would be *trusted*.
+            # (Pre-checksum legacy entries also land here: unverifiable
+            # data is recomputed, not believed.)
+            self._quarantine(path)
             self.misses += 1
             return None
         self._mem[key] = cycles
@@ -154,6 +227,7 @@ class AloneReplayCache:
             "instructions": instructions,
             "alone_cycles": alone_cycles,
         }
+        entry["checksum"] = entry_checksum(entry)
         atomic_write_json(self._path(key), entry)
         self.stores += 1
 

@@ -6,6 +6,7 @@ from typing import Iterable, Sequence
 
 from repro.harness.experiments import (
     AccuracyResult,
+    DegradationResult,
     Fig2Result,
     Fig3Result,
     Fig4Result,
@@ -124,3 +125,30 @@ def render_fig9(res: Fig9Result) -> str:
         f"\nmean unfairness improvement: {pct(res.mean_unfairness_improvement)}"
         f"\nmean H-speedup improvement:  {pct(res.mean_hspeedup_improvement)}"
     )
+
+
+def render_degradation(res: DegradationResult) -> str:
+    rows = []
+    for sigma in res.sigmas:
+        err = res.dase_error.get(sigma)
+        unf = res.unfairness.get(sigma)
+        rows.append([
+            f"{sigma:g}",
+            "-" if err is None else pct(err),
+            "-" if unf is None else f"{unf:.2f}",
+        ])
+    body = table(["noise σ", "DASE error", "unfairness (DASE-Fair)"], rows)
+    verdict = (
+        "monotone non-decreasing" if res.error_is_monotone()
+        else "NOT monotone"
+    )
+    out = (
+        f"Degradation under counter faults — {'+'.join(res.pair)} "
+        f"(seed {res.seed}):\n" + body +
+        f"\nDASE error vs σ: {verdict}"
+    )
+    if res.failures:
+        out += "\nfailed runs:\n" + "\n".join(
+            f"  {k}: {v}" for k, v in sorted(res.failures.items())
+        )
+    return out

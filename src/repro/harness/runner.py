@@ -32,6 +32,8 @@ from repro.workloads import SUITE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay_cache
     # imports persist, which is a sibling; only the annotation needs it)
+    from repro.faults.inject import FaultInjector
+    from repro.faults.plan import FaultPlan
     from repro.harness.replay_cache import AloneReplayCache
 
 
@@ -155,6 +157,7 @@ def run_workload(
     alone_cache: "AloneReplayCache | None" = None,
     profile_path: str | None = None,
     trace: Observation | EventTracer | None = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
@@ -176,6 +179,15 @@ def run_workload(
     end.  The alone replays are never traced, so the recording describes
     exactly one execution.  Tracing never changes simulation results (see
     docs/observability.md).
+
+    ``faults`` (a :class:`repro.faults.FaultPlan` or a pre-built injector)
+    distorts the counter stream the estimators and policy *observe* — the
+    simulator's own measurement is untouched.  Without a policy the shared
+    run (and hence actual slowdowns, alone replays, and cache keys) is
+    bit-identical to an unfaulted run and only the estimates change; with
+    a policy, fault-misled migrations feed back into the run, which is the
+    unfairness-degradation effect ``fig-degradation`` charts.  A null plan
+    resolves to no injector at all (docs/faults.md).
     """
     obs: Observation | None
     if trace is None:
@@ -196,14 +208,14 @@ def run_workload(
         try:
             return _run_workload(
                 apps, config, shared_cycles, sm_partition, models,
-                policy, warmup_intervals, alone_cache, obs,
+                policy, warmup_intervals, alone_cache, obs, faults,
             )
         finally:
             profiler.disable()
             profiler.dump_stats(profile_path)
     return _run_workload(
         apps, config, shared_cycles, sm_partition, models,
-        policy, warmup_intervals, alone_cache, obs,
+        policy, warmup_intervals, alone_cache, obs, faults,
     )
 
 
@@ -217,6 +229,7 @@ def _run_workload(
     warmup_intervals: int,
     alone_cache: "AloneReplayCache | None",
     obs: Observation | None = None,
+    faults: "FaultPlan | FaultInjector | None" = None,
 ) -> WorkloadResult:
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
@@ -226,6 +239,15 @@ def _run_workload(
     gpu = GPU(config, kernels, sm_partition, obs=obs)
     obs = gpu.obs  # picks up a process-wide recording when trace wasn't given
     initial_partition = gpu.sm_counts()
+
+    injector = None
+    if faults is not None:
+        from repro.faults.inject import resolve_injector
+
+        injector = resolve_injector(
+            faults, len(specs),
+            audit=None if obs is None else obs.audit,
+        )
 
     estimators: dict[str, SlowdownEstimator] = {}
     rotator: PriorityRotator | None = None
@@ -240,6 +262,8 @@ def _run_workload(
         else:
             raise ValueError(f"unknown model {model!r}")
     for est in estimators.values():
+        if injector is not None:
+            est.inject_faults(injector)
         est.attach(gpu)
     telemetry: Telemetry | None = None
     if obs is not None:
@@ -267,6 +291,8 @@ def _run_workload(
             and isinstance(estimators.get("DASE"), DASE)
         ):
             policy.use_estimator(estimators["DASE"])
+        if injector is not None and hasattr(policy, "inject_faults"):
+            policy.inject_faults(injector)
         policy.attach(gpu)
 
     gpu.run(shared_cycles)

@@ -111,6 +111,9 @@ class AuditLog:
         self.tracer = tracer
         self.model_audits: list[ModelAudit] = []
         self.decision_audits: list[DecisionAudit] = []
+        #: Fault-injection events (repro.faults): one dict per perturbed
+        #: (interval, app) delivery — {"interval", "cycle", "app", "kinds"}.
+        self.fault_events: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------ recording
 
@@ -141,6 +144,24 @@ class AuditLog:
             if audit.current_unfairness is not None:
                 args["unfairness"] = round(audit.current_unfairness, 6)
             tracer.instant("policy.decision", audit.cycle, PID_SIM, 0, args)
+
+    def record_fault(self, event: dict[str, Any]) -> None:
+        """One fault-injection delivery event (see :mod:`repro.faults`).
+
+        Keeps the audit stream able to explain perturbed estimates: a
+        surprising ``ModelAudit`` row pairs with the fault event of the
+        same (interval, app).
+        """
+        self.fault_events.append(event)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "fault.inject",
+                event.get("cycle", 0),
+                event.get("app", 0),
+                0,
+                {"kinds": "+".join(event.get("kinds", []))},
+            )
 
     # ---------------------------------------------------------------- reads
 
@@ -194,19 +215,28 @@ class AuditLog:
         for d in self.decision_audits:
             actions[d.action] = actions.get(d.action, 0) + 1
             reasons[d.reason] = reasons.get(d.reason, 0) + 1
-        return {
+        out = {
             "model_records": len(self.model_audits),
             "decision_records": len(self.decision_audits),
             "per_model": dict(sorted(per_model.items())),
             "decision_actions": dict(sorted(actions.items())),
             "decision_reasons": dict(sorted(reasons.items())),
         }
+        if self.fault_events:
+            kinds: dict[str, int] = {}
+            for ev in self.fault_events:
+                for k in ev.get("kinds", []):
+                    kinds[k] = kinds.get(k, 0) + 1
+            out["fault_events"] = len(self.fault_events)
+            out["fault_kinds"] = dict(sorted(kinds.items()))
+        return out
 
     def to_dict(self) -> dict[str, Any]:
         """Full JSON-safe dump (``audit.json``)."""
         return {
             "schema": AUDIT_SCHEMA,
             "summary": self.summary(),
+            "faults": list(self.fault_events),
             "models": [asdict(a) for a in self.model_audits],
             "decisions": [
                 {

@@ -26,6 +26,7 @@ from repro.obs.export import bank_heat, trace_summary
 from repro.obs.tracer import EventTracer
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.harness.experiments import DegradationResult
     from repro.harness.runner import WorkloadResult
     from repro.obs.audit import AuditLog, DecisionAudit
     from repro.obs.registry import MetricsRegistry
@@ -577,6 +578,78 @@ def render_html_report(
 
 def export_html_report(path: str | os.PathLike, **kw) -> str:
     html = render_html_report(**kw)
+    with open(path, "w") as fh:
+        fh.write(html)
+    return html
+
+
+def render_degradation_report(result: "DegradationResult") -> str:
+    """Degradation panel: DASE error and DASE-Fair unfairness vs noise σ.
+
+    Charts the two curves of a :class:`~repro.harness.experiments.
+    DegradationResult` — estimation error from the policy-free runs and
+    achieved unfairness from the DASE-Fair runs — against the injected
+    counter-noise intensity, plus a point table and the monotonicity
+    verdict the chaos suite enforces.
+    """
+    body: list[str] = []
+    pair = "+".join(result.pair)
+    body.append("<h2>Estimation accuracy under counter faults</h2>")
+    err = result.error_curve()
+    if err:
+        body.append(_line_chart(
+            f"DASE mean relative error vs noise σ ({pair})",
+            [{"label": "DASE error", "slot": 0, "points": err}],
+            y_label="mean |est − actual| / actual", x_label="noise σ",
+        ))
+    unf = result.unfairness_curve()
+    if unf:
+        body.append(_line_chart(
+            f"DASE-Fair achieved unfairness vs noise σ ({pair})",
+            [{"label": "unfairness", "slot": 1, "points": unf}],
+            y_label="unfairness", x_label="noise σ",
+        ))
+    rows = "".join(
+        f"<tr><td>{_fmt(s)}</td>"
+        f"<td>{_fmt(result.dase_error[s]) if s in result.dase_error else '-'}"
+        "</td>"
+        f"<td>{_fmt(result.unfairness[s]) if s in result.unfairness else '-'}"
+        "</td></tr>"
+        for s in result.sigmas
+    )
+    body.append(
+        "<table><thead><tr><th>σ</th><th>DASE error</th>"
+        f"<th>unfairness</th></tr></thead><tbody>{rows}</tbody></table>"
+    )
+    verdict = (
+        "error curve is monotone non-decreasing in σ"
+        if result.error_is_monotone()
+        else "error curve is NOT monotone in σ"
+    )
+    body.append(f"<p class=\"note\">{_esc(verdict)} · seed "
+                f"{result.seed} · same seed at every σ (common random "
+                "numbers), so points differ only in intensity.</p>")
+    if result.failures:
+        items = "".join(
+            f"<tr><td><code>{_esc(k)}</code></td><td>{_esc(v)}</td></tr>"
+            for k, v in sorted(result.failures.items())
+        )
+        body.append(
+            "<h2>Failed runs</h2><table><thead><tr><th>run</th>"
+            f"<th>error</th></tr></thead><tbody>{items}</tbody></table>"
+        )
+    return _PAGE.substitute(
+        title=_esc(f"fault degradation — {pair}"),
+        subtitle="generated by repro fig-degradation — "
+                 "repro.faults counter-noise sweep",
+        body="\n".join(body),
+    )
+
+
+def export_degradation_report(
+    path: str | os.PathLike, result: "DegradationResult"
+) -> str:
+    html = render_degradation_report(result)
     with open(path, "w") as fh:
         fh.write(html)
     return html

@@ -27,6 +27,7 @@ from repro.sim.gpu import GPU
 from repro.sim.stats import IntervalRecord
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.inject import FaultInjector
     from repro.obs.audit import AuditLog
 
 
@@ -182,6 +183,17 @@ class DASEFairPolicy(AllocationPolicy):
         self._own_estimator = estimator is None
         #: Audit sink (repro.obs.audit), resolved once at attach time.
         self._audit: "AuditLog | None" = None
+        #: Fault injector (repro.faults) shared with the estimators, or
+        #: None for the exact-counter path.
+        self._faults: "FaultInjector | None" = None
+
+    def inject_faults(self, injector: "FaultInjector | None") -> None:
+        """Route the policy's interval inputs through the shared injector
+        so scheduling decisions see the same delivered view the estimators
+        do (also forwarded to a privately-owned estimator)."""
+        self._faults = injector
+        if self._own_estimator:
+            self.estimator.inject_faults(injector)
 
     def use_estimator(self, estimator: DASE) -> None:
         """Adopt an externally-managed DASE (e.g. the harness's) instead of
@@ -205,6 +217,14 @@ class DASEFairPolicy(AllocationPolicy):
     def on_interval(self, records: list[IntervalRecord]) -> None:
         gpu = self.gpu
         audit = self._audit
+        inj = self._faults
+        if inj is not None:
+            # Decide from the delivered view, not the ground truth — the
+            # memoized injector guarantees it matches what the estimators
+            # saw this interval.
+            records = inj.deliver(
+                len(gpu.interval_history) - 1, records
+            ).records
         # Let an in-flight migration settle before deciding again.
         if any(sm.draining for sm in gpu.sms):
             if audit is not None:

@@ -1,0 +1,366 @@
+"""Chaos tests for the hardened sweep harness.
+
+Misbehaving workers — raising, dying without unwinding, hanging past the
+per-job timeout, returning results whose pickle explodes at the parent —
+must never abort a sweep: ``run_jobs`` returns ordered
+:class:`JobOutcome` objects with per-job failure classification and retry
+accounting while healthy sibling jobs complete normally.  The same layer
+covers the replay cache's quarantine-and-recompute path and
+partial-sweep checkpoint resume.
+
+Pooled chaos tests use ``retries >= 2`` deliberately: when a worker dies
+without unwinding, the pool cannot say *which* concurrent job killed it,
+so every started-but-unfinished job in that generation may be charged an
+attempt (see the blame rules in ``repro/harness/parallel.py``).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.faults import (
+    MODE_BAD_RESULT,
+    MODE_EXIT,
+    MODE_FLAKY,
+    MODE_HANG,
+    MODE_RAISE,
+    ChaosJob,
+)
+from repro.harness import scaled_config
+from repro.harness.checkpoint import SweepCheckpoint
+from repro.harness.parallel import (
+    FAIL_CRASH,
+    FAIL_EXCEPTION,
+    FAIL_TIMEOUT,
+    FAIL_TRANSPORT,
+    WorkloadJob,
+    run_jobs,
+    set_sweep_defaults,
+    sweep_defaults,
+)
+from repro.harness.replay_cache import (
+    TMP_SWEEP_AGE_S,
+    AloneReplayCache,
+    entry_checksum,
+)
+from repro.workloads import SUITE
+
+CFG = scaled_config()
+SMALL = 30_000
+
+
+def ok_jobs(n, **kw):
+    return [ChaosJob(name=f"ok{i}", payload=100 + i, **kw) for i in range(n)]
+
+
+# ------------------------------------------------------------------- inline
+
+
+class TestInlineChaos:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            ChaosJob(name="x", mode="maybe")
+        with pytest.raises(ValueError, match="requires state_dir"):
+            ChaosJob(name="x", mode=MODE_FLAKY)
+
+    def test_generic_job_dispatch(self):
+        (out,) = run_jobs([ChaosJob(name="solo", payload=42)], n_jobs=1)
+        assert out.ok and out.result["payload"] == 42
+        assert out.attempts == 1 and out.failure_kind is None
+
+    def test_raise_captured_with_retry_accounting(self):
+        jobs = [ChaosJob(name="boom", mode=MODE_RAISE), *ok_jobs(2)]
+        outs = run_jobs(jobs, n_jobs=1, retries=2, backoff_s=0.0)
+        assert [o.index for o in outs] == [0, 1, 2]
+        assert not outs[0].ok
+        assert outs[0].failure_kind == FAIL_EXCEPTION
+        assert outs[0].attempts == 3  # first try + 2 retries
+        assert "chaos raise from boom" in outs[0].error
+        assert outs[1].ok and outs[1].result["payload"] == 100
+        assert outs[2].ok and outs[2].result["payload"] == 101
+
+    def test_ambient_sweep_defaults(self):
+        before = sweep_defaults()
+        try:
+            set_sweep_defaults(retries=2, backoff_s=0.0)
+            assert sweep_defaults()["retries"] == 2
+            # run_jobs picks the ambient retries up when passed None
+            (out,) = run_jobs([ChaosJob(name="x", mode=MODE_RAISE)], n_jobs=1)
+            assert out.attempts == 3
+            with pytest.raises(ValueError, match="retries"):
+                set_sweep_defaults(retries=-1)
+        finally:
+            set_sweep_defaults(**before)
+        assert sweep_defaults() == before
+
+
+# ------------------------------------------------------------------- pooled
+
+
+@pytest.mark.slow
+class TestPooledChaos:
+    def test_hard_exit_blamed_with_stderr_tail(self):
+        jobs = [ChaosJob(name="dead", mode=MODE_EXIT), *ok_jobs(3)]
+        outs = run_jobs(jobs, n_jobs=2, retries=2, backoff_s=0.0)
+        assert [o.index for o in outs] == [0, 1, 2, 3]
+        dead = outs[0]
+        assert not dead.ok
+        assert dead.failure_kind == FAIL_CRASH
+        assert dead.attempts == 3
+        assert "died without unwinding" in dead.error
+        assert dead.stderr_tail and "exiting hard" in dead.stderr_tail
+        for o, payload in zip(outs[1:], (100, 101, 102)):
+            assert o.ok and o.result["payload"] == payload
+
+    def test_timeout_kills_hung_worker(self):
+        jobs = [ChaosJob(name="zzz", mode=MODE_HANG, hang_s=120.0),
+                *ok_jobs(2)]
+        t0 = time.time()
+        outs = run_jobs(jobs, n_jobs=2, timeout_s=1.5, retries=0,
+                        backoff_s=0.0)
+        assert time.time() - t0 < 60  # did not wait out the 120 s sleep
+        hung = outs[0]
+        assert not hung.ok and hung.failure_kind == FAIL_TIMEOUT
+        assert "timeout" in hung.error
+        # siblings of a timeout kill are explained victims: no attempt tax
+        assert outs[1].ok and outs[2].ok
+        assert outs[1].attempts == 1 or outs[1].resumed is False
+
+    def test_bad_result_classified_as_transport(self):
+        jobs = [ChaosJob(name="poison", mode=MODE_BAD_RESULT), *ok_jobs(2)]
+        outs = run_jobs(jobs, n_jobs=2, retries=0, backoff_s=0.0)
+        poison = outs[0]
+        assert not poison.ok and poison.failure_kind == FAIL_TRANSPORT
+        assert "result was lost" in poison.error
+        assert outs[1].ok and outs[2].ok
+
+    def test_flaky_job_succeeds_on_retry(self, tmp_path):
+        jobs = [
+            ChaosJob(name="shaky", mode=MODE_FLAKY, flaky_failures=1,
+                     state_dir=str(tmp_path), payload=7),
+            *ok_jobs(2),
+        ]
+        outs = run_jobs(jobs, n_jobs=2, retries=3, backoff_s=0.0)
+        shaky = outs[0]
+        assert shaky.ok, shaky.error
+        assert shaky.result["payload"] == 7
+        # The disk counter is the ground truth that a retry ran: harness
+        # `attempts` may stay 1 when the crashed execution was classified
+        # an innocent victim of an explained pool break (e.g. a sibling's
+        # finished result was lost in the same teardown).
+        assert shaky.result["attempt"] >= 2
+        assert outs[1].ok and outs[2].ok
+
+    def test_mixed_chaos_sweep_never_aborts(self, tmp_path):
+        """The kitchen sink: every misbehaviour at once, healthy jobs and
+        per-job accounting intact."""
+        jobs = [
+            ChaosJob(name="a-ok", payload=1),
+            ChaosJob(name="boom", mode=MODE_RAISE),
+            ChaosJob(name="dead", mode=MODE_EXIT),
+            ChaosJob(name="shaky", mode=MODE_FLAKY, flaky_failures=1,
+                     state_dir=str(tmp_path), payload=4),
+            ChaosJob(name="z-ok", payload=5),
+        ]
+        outs = run_jobs(jobs, n_jobs=2, retries=3, backoff_s=0.0)
+        assert [o.index for o in outs] == [0, 1, 2, 3, 4]
+        assert outs[0].ok and outs[0].result["payload"] == 1
+        assert not outs[1].ok and outs[1].failure_kind == FAIL_EXCEPTION
+        assert not outs[2].ok and outs[2].failure_kind == FAIL_CRASH
+        assert outs[3].ok and outs[3].result["payload"] == 4
+        assert outs[4].ok and outs[4].result["payload"] == 5
+
+    def test_retried_workload_matches_clean_run(self, tmp_path):
+        """A real workload that shares a generation with a crasher still
+        produces the exact same result a clean sweep produces."""
+        wl = WorkloadJob(apps=("QR", "CT"), config=CFG,
+                         shared_cycles=SMALL, models=())
+        clean = run_jobs([wl], n_jobs=1)[0].unwrap()
+        outs = run_jobs(
+            [ChaosJob(name="dead", mode=MODE_EXIT), wl],
+            n_jobs=2, retries=2, backoff_s=0.0,
+        )
+        assert not outs[0].ok
+        assert outs[1].unwrap().to_dict() == clean.to_dict()
+
+
+# ---------------------------------------------------- replay-cache hardening
+
+
+class TestReplayCacheHardening:
+    def _store(self, tmp_path):
+        cache = AloneReplayCache(tmp_path)
+        cache.put(SUITE["QR"], 0, CFG, 1000, 777)
+        return cache, tmp_path / f"{cache.key(SUITE['QR'], 0, CFG, 1000)}.json"
+
+    def test_truncated_entry_quarantined_and_recomputed(self, tmp_path):
+        _, path = self._store(tmp_path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        fresh = AloneReplayCache(tmp_path)
+        assert fresh.get(SUITE["QR"], 0, CFG, 1000) is None
+        assert fresh.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+        # the recompute path: a new put restores a good entry
+        fresh.put(SUITE["QR"], 0, CFG, 1000, 777)
+        assert AloneReplayCache(tmp_path).get(SUITE["QR"], 0, CFG, 1000) == 777
+
+    def test_bit_flip_inside_valid_json_quarantined(self, tmp_path):
+        _, path = self._store(tmp_path)
+        entry = json.loads(path.read_text())
+        entry["alone_cycles"] = 778  # flipped bit, checksum now stale
+        path.write_text(json.dumps(entry))
+        fresh = AloneReplayCache(tmp_path)
+        assert fresh.get(SUITE["QR"], 0, CFG, 1000) is None
+        assert fresh.quarantined == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_legacy_entry_without_checksum_not_trusted(self, tmp_path):
+        _, path = self._store(tmp_path)
+        entry = json.loads(path.read_text())
+        del entry["checksum"]
+        path.write_text(json.dumps(entry))
+        fresh = AloneReplayCache(tmp_path)
+        assert fresh.get(SUITE["QR"], 0, CFG, 1000) is None
+        assert fresh.quarantined == 1
+
+    def test_checksum_covers_every_field(self, tmp_path):
+        _, path = self._store(tmp_path)
+        entry = json.loads(path.read_text())
+        body = {k: v for k, v in entry.items() if k != "checksum"}
+        assert entry["checksum"] == entry_checksum(body)
+        body["instructions"] += 1
+        assert entry["checksum"] != entry_checksum(body)
+
+    def test_quarantined_entries_not_counted_as_present(self, tmp_path):
+        cache, path = self._store(tmp_path)
+        assert len(cache) == 1
+        path.write_text("garbage")
+        fresh = AloneReplayCache(tmp_path)
+        fresh.get(SUITE["QR"], 0, CFG, 1000)
+        assert len(fresh) == 0  # quarantine/ is not part of the cache
+
+    def test_orphan_tmp_files_swept_by_age(self, tmp_path):
+        stale = tmp_path / ".deadbeef.json.abc.tmp"
+        stale.write_text("{")
+        old = time.time() - TMP_SWEEP_AGE_S - 10
+        os.utime(stale, (old, old))
+        young = tmp_path / ".cafe.json.def.tmp"
+        young.write_text("{")
+        cache = AloneReplayCache(tmp_path)
+        assert cache.tmp_swept == 1
+        assert not stale.exists()
+        assert young.exists()  # may be a concurrent writer's in-flight file
+
+    @pytest.mark.slow
+    def test_corrupt_cache_recovered_end_to_end(self, tmp_path):
+        """A sweep over a damaged cache recomputes and heals, producing
+        the same result as an uncached run."""
+        from repro.harness.parallel import run_workloads
+
+        clean = run_workloads(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL, models=(),
+        )[0].unwrap()
+        warm = run_workloads(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL, models=(),
+            cache_dir=str(tmp_path),
+        )[0].unwrap()
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text(entry.read_text()[:20])  # truncate every entry
+        healed = run_workloads(
+            [("QR", "CT")], config=CFG, shared_cycles=SMALL, models=(),
+            cache_dir=str(tmp_path),
+        )[0]
+        assert healed.ok
+        assert healed.unwrap().to_dict() == clean.to_dict() == warm.to_dict()
+        assert len(list((tmp_path / "quarantine").glob("*.json"))) == 2
+        # cache healed in place: entries verify again
+        again = AloneReplayCache(tmp_path)
+        assert len(again) == 2
+
+
+# ------------------------------------------------------- checkpoint resume
+
+
+@pytest.mark.slow
+class TestCheckpointResume:
+    def _jobs(self):
+        return [
+            WorkloadJob(apps=("QR", "CT"), config=CFG,
+                        shared_cycles=SMALL, models=()),
+            WorkloadJob(apps=("NN", "VA"), config=CFG,
+                        shared_cycles=SMALL, models=()),
+        ]
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        jobs = self._jobs()
+        first = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        assert all(o.ok and not o.resumed for o in first)
+        t0 = time.perf_counter()
+        second = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        assert time.perf_counter() - t0 < 0.5  # no simulation happened
+        assert all(o.ok and o.resumed for o in second)
+        for a, b in zip(first, second):
+            assert a.unwrap().to_dict() == b.unwrap().to_dict()
+
+    def test_interrupted_sweep_resumes_partial(self, tmp_path):
+        """Dropping the checkpoint's last line (the interruption case the
+        file format is designed for) recomputes only that job."""
+        jobs = self._jobs()
+        run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        cp = SweepCheckpoint(tmp_path, jobs)
+        lines = cp.path.read_text().splitlines()
+        assert len(lines) == 2
+        cp.path.write_text(lines[0] + "\n")
+        outs = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        assert outs[0].resumed and not outs[1].resumed
+        assert outs[0].ok and outs[1].ok
+        # the recomputed job was re-appended: a third run resumes both
+        outs = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        assert all(o.resumed for o in outs)
+
+    def test_torn_line_skipped_not_fatal(self, tmp_path):
+        jobs = self._jobs()
+        run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        cp = SweepCheckpoint(tmp_path, jobs)
+        text = cp.path.read_text()
+        cp.path.write_text(text[: len(text) - 40])  # tear the final line
+        assert len(cp.load()) == 1
+        assert cp.skipped_lines == 1
+        outs = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        assert all(o.ok for o in outs)
+        assert outs[0].resumed and not outs[1].resumed
+
+    def test_different_sweep_gets_different_checkpoint(self, tmp_path):
+        jobs = self._jobs()
+        run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        reordered = list(reversed(jobs))
+        outs = run_jobs(reordered, n_jobs=1, checkpoint=tmp_path)
+        # same jobs, different order → different identity, nothing resumed
+        assert not any(o.resumed for o in outs)
+        assert len(list(tmp_path.glob("sweep-*.jsonl"))) == 2
+
+    def test_foreign_results_never_resurrected(self, tmp_path):
+        jobs = self._jobs()
+        run_jobs(jobs, n_jobs=1, checkpoint=tmp_path)
+        # same sweep shape but different cycle budget → different fingerprints
+        longer = [
+            WorkloadJob(apps=j.apps, config=CFG,
+                        shared_cycles=SMALL + 1000, models=())
+            for j in jobs
+        ]
+        cp = SweepCheckpoint(tmp_path, longer)
+        assert cp.load() == {}
+
+    def test_pooled_resume_matches_inline(self, tmp_path):
+        jobs = self._jobs()
+        inline = run_jobs(jobs, n_jobs=1, checkpoint=tmp_path / "a")
+        pooled = run_jobs(jobs, n_jobs=2, checkpoint=tmp_path / "b")
+        for a, b in zip(inline, pooled):
+            assert a.unwrap().to_dict() == b.unwrap().to_dict()
+        resumed = run_jobs(jobs, n_jobs=2, checkpoint=tmp_path / "a")
+        assert all(o.resumed for o in resumed)
+        for a, b in zip(inline, resumed):
+            assert a.unwrap().to_dict() == b.unwrap().to_dict()

@@ -1,0 +1,390 @@
+"""Fault-injection subsystem: plan semantics, injector determinism,
+zero-intensity bit-identity (golden-enforced), and the degradation
+headline (DASE error non-decreasing in counter-noise σ).
+
+The property layer (hypothesis) works on synthetic interval records so it
+can sweep thousands of cases; the golden/monotone layer runs the real
+simulator and is marked ``slow`` like the rest of the end-to-end suite.
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.faults import (  # noqa: E402
+    DROP_SKIP,
+    DROP_STALE,
+    AppFaults,
+    FaultInjector,
+    FaultPlan,
+    noise_plan,
+    resolve_injector,
+)
+from repro.harness import run_workload, scaled_config  # noqa: E402
+from repro.sim.stats import (  # noqa: E402
+    AppMemCounters,
+    AppSMCounters,
+    IntervalRecord,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_pairs.json"
+SHARED_CYCLES = 40_000  # matches tests/test_golden.py
+CFG = scaled_config()
+
+
+# ------------------------------------------------------------ synthetic data
+
+
+def make_record(app: int, index: int, scale: int = 1) -> IntervalRecord:
+    """A plausible, distinct interval record (values keyed to app/index)."""
+    base = 100 * (app + 1) + 10 * index
+    mem = AppMemCounters(
+        requests_served=base * scale,
+        time_request=7 * base * scale,
+        erb_miss=base // 3,
+        demanded_bank_integral=1.5 * base,
+        executing_bank_integral=0.9 * base,
+        outstanding_time=0.6 * base,
+    )
+    sm = AppSMCounters(
+        instructions=50 * base,
+        busy_time=4.0 * base,
+        stall_time=2.0 * base,
+        sm_time=6.0 * base,
+    )
+    return IntervalRecord(
+        app=app, start=index * 1000, end=(index + 1) * 1000,
+        mem=mem, sm=sm, ellc_miss=0.25 * base, sm_count=6, sm_total=12,
+        tb_running=8, tb_unfinished=20,
+    )
+
+
+def make_records(n_apps: int, index: int) -> list:
+    return [make_record(a, index) for a in range(n_apps)]
+
+
+# ----------------------------------------------------------------- the plan
+
+
+class TestPlan:
+    def test_defaults_are_null(self):
+        assert AppFaults().is_null
+        assert FaultPlan().is_null
+        assert noise_plan(0.0).is_null
+        assert not noise_plan(0.1).is_null
+
+    def test_quantize_one_is_null(self):
+        assert AppFaults(quantize=1).is_null
+        assert not AppFaults(quantize=2).is_null
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppFaults(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            AppFaults(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            AppFaults(drop_mode="maybe")
+        with pytest.raises(ValueError):
+            AppFaults(delay=-1)
+        with pytest.raises(ValueError):
+            AppFaults(atd_rate=0.0)
+        with pytest.raises(ValueError):
+            AppFaults(atd_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(per_app=((0, AppFaults()), (0, AppFaults())))
+
+    def test_for_app_override(self):
+        hot = AppFaults(noise_sigma=0.5)
+        plan = FaultPlan(per_app=((1, hot),))
+        assert plan.for_app(0).is_null
+        assert plan.for_app(1) is hot
+        assert not plan.is_null
+
+    def test_plan_is_hashable_and_picklable(self):
+        import pickle
+
+        plan = FaultPlan(seed=3, per_app=((0, AppFaults(noise_sigma=0.1)),))
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+
+    def test_resolve_injector(self):
+        assert resolve_injector(None, 2) is None
+        assert resolve_injector(FaultPlan(), 2) is None  # null → no injector
+        inj = resolve_injector(noise_plan(0.1), 2)
+        assert isinstance(inj, FaultInjector)
+        assert resolve_injector(inj, 2) is inj
+        with pytest.raises(TypeError):
+            resolve_injector("noise", 2)
+
+
+# ------------------------------------------------------------- the injector
+
+
+class TestInjectorDelivery:
+    def test_memoized_and_ordered(self):
+        inj = FaultInjector(noise_plan(0.2, seed=1))
+        recs = make_records(2, 0)
+        view = inj.deliver(0, recs)
+        assert inj.deliver(0, recs) is view
+        with pytest.raises(RuntimeError, match="out of order"):
+            inj.deliver(5, make_records(2, 5))
+
+    def test_null_app_passes_through_untouched(self):
+        plan = FaultPlan(per_app=((1, AppFaults(noise_sigma=0.3)),))
+        inj = FaultInjector(plan)
+        recs = make_records(2, 0)
+        view = inj.deliver(0, recs)
+        assert view.records[0] is recs[0]  # identity, not a copy
+        assert view.records[1] is not recs[1]
+        assert view.faulted == {1}
+        assert view.records[1].extra["fault"] == ["noise"]
+
+    def test_drop_skip_semantics(self):
+        plan = FaultPlan(default=AppFaults(drop_prob=1.0, drop_mode=DROP_SKIP))
+        inj = FaultInjector(plan)
+        for t in range(3):
+            view = inj.deliver(t, make_records(1, t))
+            assert view.skipped == {0}
+            assert any("drop-skip" in ev["kinds"] for ev in view.events)
+
+    def test_drop_stale_redelivers_last_record(self):
+        # drop_prob=1 never delivers, so stale degenerates to skip; use the
+        # seeded draws to find an interval that drops after one that didn't.
+        plan = FaultPlan(
+            seed=5, default=AppFaults(drop_prob=0.5, drop_mode=DROP_STALE)
+        )
+        inj = FaultInjector(plan)
+        seen_ids: set[int] = set()
+        stale_hits = 0
+        for t in range(40):
+            view = inj.deliver(t, make_records(1, t))
+            if 0 in view.skipped:
+                continue
+            rec = view.records[0]
+            ev_kinds = [k for ev in view.events for k in ev["kinds"]]
+            if "drop-stale" in ev_kinds:
+                # a stale delivery re-issues an earlier delivered object
+                assert id(rec) in seen_ids
+                stale_hits += 1
+            seen_ids.add(id(rec))
+        assert stale_hits > 0  # seed 5 produces both outcomes in 40 draws
+
+    def test_stale_with_no_predecessor_skips(self):
+        plan = FaultPlan(default=AppFaults(drop_prob=1.0, drop_mode=DROP_STALE))
+        inj = FaultInjector(plan)
+        view = inj.deliver(0, make_records(1, 0))
+        assert view.skipped == {0}
+
+    def test_delay_shifts_and_warms_up(self):
+        plan = FaultPlan(default=AppFaults(delay=2))
+        inj = FaultInjector(plan)
+        raws = [make_records(1, t) for t in range(5)]
+        views = [inj.deliver(t, raws[t]) for t in range(5)]
+        assert views[0].skipped == {0} and views[1].skipped == {0}
+        # With every other knob at identity the delayed record is the raw
+        # record of interval t − 2, the very object.
+        for t in (2, 3, 4):
+            assert views[t].records[0] is raws[t - 2][0]
+
+    def test_quantize_rounds_int_counters(self):
+        plan = FaultPlan(default=AppFaults(quantize=10))
+        inj = FaultInjector(plan)
+        rec = inj.deliver(0, make_records(1, 0)).records[0]
+        for name in ("requests_served", "time_request", "erb_miss"):
+            assert getattr(rec.mem, name) % 10 == 0
+
+    def test_atd_rate_coarsens_ellc(self):
+        plan = FaultPlan(default=AppFaults(atd_rate=0.5))
+        inj = FaultInjector(plan)
+        rec = inj.deliver(0, make_records(1, 0)).records[0]
+        # re-quantized to the 1/rate grid
+        assert (rec.ellc_miss * 0.5) == pytest.approx(
+            round(rec.ellc_miss * 0.5), abs=1e-9
+        )
+        assert "atd-rate" in rec.extra["fault"]
+
+    def test_events_mirror_into_audit(self):
+        from repro.obs.audit import AuditLog
+
+        audit = AuditLog()
+        inj = FaultInjector(noise_plan(0.2, seed=1), audit=audit)
+        inj.deliver(0, make_records(2, 0))
+        assert audit.fault_events == inj.events
+        assert len(audit.fault_events) == 2
+        assert audit.summary()["fault_kinds"] == {"noise": 2}
+
+
+class TestInjectorDeterminism:
+    @given(sigma=st.floats(min_value=0.001, max_value=1.0,
+                           allow_nan=False),
+           seed=st.integers(min_value=0, max_value=2**31),
+           n_apps=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_delivery(self, sigma, seed, n_apps):
+        """Two injectors with the same plan produce field-identical views
+        — the inline-vs-pooled determinism contract at the unit level."""
+        a = FaultInjector(noise_plan(sigma, seed=seed))
+        b = FaultInjector(noise_plan(sigma, seed=seed))
+        for t in range(3):
+            ra = a.deliver(t, make_records(n_apps, t)).records
+            rb = b.deliver(t, make_records(n_apps, t)).records
+            for x, y in zip(ra, rb):
+                assert x.mem == y.mem and x.sm == y.sm
+                assert x.ellc_miss == y.ellc_miss
+        assert a.events == b.events
+
+    @given(sigma=st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_perturbed_counters_stay_valid(self, sigma, seed):
+        """Noise never produces negative or non-integer counters."""
+        inj = FaultInjector(noise_plan(sigma, seed=seed))
+        rec = inj.deliver(0, make_records(1, 0)).records[0]
+        for name in ("requests_served", "time_request", "erb_miss"):
+            v = getattr(rec.mem, name)
+            assert isinstance(v, int) and v >= 0
+        for name in ("demanded_bank_integral", "executing_bank_integral",
+                     "outstanding_time"):
+            assert getattr(rec.mem, name) >= 0.0
+        assert rec.sm.busy_time >= 0.0 and rec.sm.stall_time >= 0.0
+        assert rec.ellc_miss >= 0.0
+
+    def test_common_random_numbers_across_sigma(self):
+        """The draw schedule is fixed: scaling σ scales every log-ratio by
+        the same factor, so curves over σ deform one realization."""
+        lo = FaultInjector(noise_plan(0.1, seed=9))
+        hi = FaultInjector(noise_plan(0.2, seed=9))
+        raw = make_record(0, 0)
+        rl = lo.deliver(0, [raw]).records[0]
+        rh = hi.deliver(0, [raw]).records[0]
+        for name in ("demanded_bank_integral", "outstanding_time"):
+            g_lo = math.log(getattr(rl.mem, name) / getattr(raw.mem, name))
+            g_hi = math.log(getattr(rh.mem, name) / getattr(raw.mem, name))
+            assert g_hi == pytest.approx(2.0 * g_lo, rel=1e-9)
+
+    def test_seed_changes_realization(self):
+        a = FaultInjector(noise_plan(0.3, seed=1))
+        b = FaultInjector(noise_plan(0.3, seed=2))
+        ra = a.deliver(0, make_records(1, 0)).records[0]
+        rb = b.deliver(0, make_records(1, 0)).records[0]
+        assert ra.mem != rb.mem
+
+
+# --------------------------------------------------- golden zero-intensity
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _measure(combo, faults):
+    res = run_workload(list(combo), config=CFG,
+                       shared_cycles=SHARED_CYCLES, models=(), faults=faults)
+    return {
+        "instructions": res.instructions,
+        "alone_cycles": res.alone_cycles,
+        "slowdowns": res.actual_slowdowns,
+        "unfairness": res.actual_unfairness,
+        "hspeedup": res.actual_hspeedup,
+    }
+
+
+def _assert_matches(got, expected):
+    assert got["instructions"] == expected["instructions"]
+    assert got["alone_cycles"] == expected["alone_cycles"]
+    assert got["slowdowns"] == pytest.approx(expected["slowdowns"], rel=1e-9)
+    assert got["unfairness"] == pytest.approx(expected["unfairness"], rel=1e-9)
+    assert got["hspeedup"] == pytest.approx(expected["hspeedup"], rel=1e-9)
+
+
+@pytest.mark.slow
+class TestZeroIntensityGolden:
+    """A null FaultPlan must be bit-identical to no plan at all — checked
+    against the same golden fixtures the unfaulted runs are held to."""
+
+    def test_null_plan_matches_golden_pair(self, golden):
+        got = _measure(("SD", "SB"), faults=FaultPlan())
+        _assert_matches(got, golden["pairs"]["SD+SB"])
+
+    def test_null_plan_matches_golden_quad(self, golden):
+        got = _measure(("SD", "NN", "CS", "SB"), faults=FaultPlan())
+        _assert_matches(got, golden["quads"]["SD+NN+CS+SB"])
+
+    def test_null_plan_full_result_identical(self):
+        """Stronger than the golden scalars: the whole result payload,
+        estimator histories included, is identical with and without the
+        null plan."""
+        kw = dict(config=CFG, shared_cycles=SHARED_CYCLES, models=("DASE",))
+        plain = run_workload(["SD", "SB"], **kw)
+        nulled = run_workload(["SD", "SB"], faults=FaultPlan(), **kw)
+        assert plain.to_dict() == nulled.to_dict()
+
+    def test_null_plan_matches_golden_pooled(self, golden):
+        from repro.harness.parallel import run_workloads
+
+        outcomes = run_workloads(
+            [["SD", "SB"], ["NN", "VA"]], jobs=2, config=CFG,
+            shared_cycles=SHARED_CYCLES, models=(), faults=FaultPlan(),
+        )
+        for combo, outcome in zip((("SD", "SB"), ("NN", "VA")), outcomes):
+            res = outcome.unwrap()
+            got = {
+                "instructions": res.instructions,
+                "alone_cycles": res.alone_cycles,
+                "slowdowns": res.actual_slowdowns,
+                "unfairness": res.actual_unfairness,
+                "hspeedup": res.actual_hspeedup,
+            }
+            _assert_matches(got, golden["pairs"]["+".join(combo)])
+
+
+@pytest.mark.slow
+class TestEndToEndDeterminism:
+    def test_inline_matches_pooled_under_faults(self):
+        """Same plan, same seed ⇒ the same perturbation sequence whether
+        the run executes in-process or in a pool worker."""
+        from repro.harness.parallel import run_workloads
+
+        plan = noise_plan(0.2, seed=11)
+        inline = run_workload(["SD", "SB"], config=CFG,
+                              shared_cycles=SHARED_CYCLES,
+                              models=("DASE",), faults=plan)
+        pooled = run_workloads(
+            [["SD", "SB"]], jobs=2, config=CFG,
+            shared_cycles=SHARED_CYCLES, models=("DASE",), faults=plan,
+        )[0].unwrap()
+        assert inline.to_dict() == pooled.to_dict()
+
+    def test_noise_perturbs_estimates_not_execution(self):
+        """Without a policy the fault layer is read-only: measured
+        slowdowns are untouched, only the estimates move."""
+        kw = dict(config=CFG, shared_cycles=SHARED_CYCLES, models=("DASE",))
+        plain = run_workload(["SD", "SB"], **kw)
+        noisy = run_workload(["SD", "SB"], faults=noise_plan(0.4, seed=3),
+                             **kw)
+        assert noisy.actual_slowdowns == plain.actual_slowdowns
+        assert noisy.instructions == plain.instructions
+        assert noisy.estimates["DASE"] != plain.estimates["DASE"]
+
+
+@pytest.mark.slow
+def test_dase_error_monotone_in_sigma():
+    """The degradation headline: mean DASE error on the SD+SB golden pair
+    is non-decreasing as counter-noise σ steps up.  Uses the default
+    (120K-cycle) shared window — at much shorter windows noise can cancel
+    estimator bias and the curve is not monotone."""
+    errors = []
+    for sigma in (0.0, 0.05, 0.1, 0.2, 0.4):
+        res = run_workload(
+            ["SD", "SB"], config=CFG, models=("DASE",),
+            faults=noise_plan(sigma, seed=7) if sigma else None,
+        )
+        errors.append(res.mean_error("DASE"))
+    assert errors == sorted(errors), f"not monotone: {errors}"
