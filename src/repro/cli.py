@@ -32,6 +32,8 @@ def _cmd_list(args) -> int:
         ("fig9", "DASE-Fair vs even split"),
         ("fig-degradation", "DASE error + fairness vs injected counter "
                             "noise (repro.faults)"),
+        ("fig-churn", "open-system sweep: DASE error + multi-metric "
+                      "fairness vs arrival rate (repro.opensys)"),
         ("run", "run an arbitrary workload: python -m repro run SD SB"),
         ("trace", "record a traced run: python -m repro trace SD SB"),
         ("inspect", "summarize a recorded run or Chrome trace"),
@@ -159,6 +161,30 @@ def _run_fig(args, ex, rp, name: str) -> int:
         print(rp.render_degradation(res))
         if args.out:
             _write_degradation_artifacts(args.out, res)
+    elif name == "fig-churn":
+        from repro.workloads import APP_NAMES
+
+        rates = None
+        if args.rates:
+            try:
+                rates = tuple(float(r) for r in args.rates.split(",") if r)
+            except ValueError:
+                raise SystemExit(f"bad --rates value {args.rates!r}")
+        for a in tuple(args.base or ()) + tuple(args.pool or ()):
+            if a not in APP_NAMES:
+                raise SystemExit(
+                    f"unknown app {a!r}; choose from {APP_NAMES}"
+                )
+        res = ex.fig_churn(
+            base=tuple(args.base) if args.base else None,
+            pool=tuple(args.pool) if args.pool else None,
+            rates=rates, seed=args.seed,
+            mean_lifetime=args.mean_lifetime,
+            shared_cycles=args.cycles, **par,
+        )
+        print(rp.render_churn(res))
+        if args.out:
+            _write_churn_artifacts(args.out, res)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     return 0
@@ -178,6 +204,22 @@ def _write_degradation_artifacts(out_dir: str, res) -> None:
     export_degradation_report(out / "report.html", res)
     print(f"\ndegradation artifacts written to {out}/ "
           "(degradation.json, report.html)", file=sys.stderr)
+
+
+def _write_churn_artifacts(out_dir: str, res) -> None:
+    import json
+    import pathlib
+
+    from repro.obs.report import export_churn_report
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    with (out / "churn.json").open("w") as fh:
+        json.dump(res.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    export_churn_report(out / "report.html", res)
+    print(f"\nchurn artifacts written to {out}/ "
+          "(churn.json, report.html)", file=sys.stderr)
 
 
 def _cmd_run(args) -> int:
@@ -377,11 +419,15 @@ def build_parser() -> argparse.ArgumentParser:
     t3.set_defaults(func=_cmd_table3)
 
     for fig in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "fig8a", "fig8b", "fig9", "fig-degradation"):
+                "fig8a", "fig8b", "fig9", "fig-degradation", "fig-churn"):
         if fig == "fig-degradation":
             fp = sub.add_parser(
                 fig, help="degradation curves: DASE error + DASE-Fair "
                           "fairness vs injected counter noise")
+        elif fig == "fig-churn":
+            fp = sub.add_parser(
+                fig, help="open-system churn sweep: DASE error + "
+                          "multi-metric fairness vs arrival rate")
         else:
             fp = sub.add_parser(fig, help=f"reproduce {fig}")
         fp.add_argument("--limit", type=int, default=None,
@@ -421,6 +467,29 @@ def build_parser() -> argparse.ArgumentParser:
             fp.add_argument("--out", default=None, metavar="DIR",
                             help="also write degradation.json and "
                                  "report.html under DIR")
+        if fig == "fig-churn":
+            fp.add_argument("--base", nargs=2, default=None,
+                            metavar=("APP1", "APP2"),
+                            help="resident base workload (default: SD SB)")
+            fp.add_argument("--pool", nargs="+", default=None,
+                            metavar="APP",
+                            help="arrival pool apps (default: NN VA SC)")
+            fp.add_argument("--rates", default=None, metavar="R1,R2,..",
+                            help="comma-separated arrival rates per "
+                                 "kilocycle (default: 0.05,0.1,0.2)")
+            fp.add_argument("--mean-lifetime", type=int, default=40_000,
+                            dest="mean_lifetime", metavar="CYCLES",
+                            help="mean exponential lifetime of a dynamic "
+                                 "app (default: 40000)")
+            fp.add_argument("--cycles", type=int, default=None,
+                            help="shared-run horizon in cycles "
+                                 "(default: scaled config default)")
+            fp.add_argument("--seed", type=int, default=2016,
+                            help="arrival-schedule seed shared by every "
+                                 "rate (default: 2016)")
+            fp.add_argument("--out", default=None, metavar="DIR",
+                            help="also write churn.json and report.html "
+                                 "under DIR")
         fp.set_defaults(func=_cmd_fig, experiment=fig)
 
     rn = sub.add_parser("run", help="run an arbitrary workload")

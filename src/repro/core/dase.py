@@ -127,7 +127,11 @@ class DASE(SlowdownEstimator):
             reciprocal=None if est is None else 1.0 / max(est, 1.0),
             inputs=inputs,
             terms=terms,
-            skip_reason=None if est is not None else "degenerate-interval",
+            skip_reason=(
+                None
+                if est is not None
+                else ("not-resident" if rec.sm_count == 0 else "degenerate-interval")
+            ),
         )
 
     def _estimate_app(

@@ -74,7 +74,11 @@ class MISE(SlowdownEstimator):
         est: float | None
         skip: str | None = None
         terms: dict[str, float] = {}
-        if d.prio_time[i] <= 0 or d.shared_time[i] <= 0:
+        if rec.sm_count == 0:
+            # Open-system runs: the app is not resident this interval, so
+            # the rotator's rates say nothing about it.
+            est, skip = None, "not-resident"
+        elif d.prio_time[i] <= 0 or d.shared_time[i] <= 0:
             est, skip = None, "no-priority-epoch"
         elif d.prio_requests[i] <= 0 or d.shared_requests[i] <= 0:
             # No memory traffic → no memory interference to model.

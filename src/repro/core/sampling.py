@@ -68,6 +68,7 @@ class PriorityRotator:
         self.gpu: GPU | None = None
         self.acc: RateAccumulators | None = None
         self._phase = 0  # even: priority epoch; odd: no-priority gap
+        self._applied_prio: int | None = None  # what set_priority_app last saw
         self._req_snap: list[int] = []
         self._acc_snap: list[int] = []
 
@@ -92,10 +93,22 @@ class PriorityRotator:
     def _current_priority(self) -> int | None:
         if self._phase % 2 == 1:
             return None
-        return (self._phase // 2) % self.gpu.n_apps
+        n = self.gpu.n_apps
+        start = (self._phase // 2) % n
+        # Open-system runs: skip non-resident apps (their priority epoch
+        # would measure nothing).  Closed systems keep every app active, so
+        # this returns ``start`` unchanged.
+        for k in range(n):
+            i = (start + k) % n
+            if self.gpu.app_active[i]:
+                return i
+        return None
 
     def _apply_phase(self) -> None:
-        self.gpu.set_priority_app(self._current_priority())
+        # Remember what was actually applied: epoch-end attribution must use
+        # this, not a re-evaluation — app_active may have changed mid-epoch.
+        self._applied_prio = self._current_priority()
+        self.gpu.set_priority_app(self._applied_prio)
 
     def _collect(self) -> tuple[list[int], list[int]]:
         """Per-app (Δrequests, ΔL2 accesses) since the last epoch boundary."""
@@ -111,7 +124,7 @@ class PriorityRotator:
         return dreq, dacc
 
     def _on_epoch_end(self) -> None:
-        prio = self._current_priority()
+        prio = self._applied_prio
         dreq, dacc = self._collect()
         dt = float(self._phase_length())
         acc = self.acc

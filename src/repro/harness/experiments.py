@@ -495,3 +495,14 @@ def fig_degradation(
             continue
         out.unfairness[sigma] = outcome.result.actual_unfairness
     return out
+
+
+# --------------------------------------------------------- open-system churn
+
+# fig-churn lives with the rest of the open-system machinery; re-exported
+# here so the CLI and callers find every figure driver in one module.
+from repro.opensys.churn import (  # noqa: E402
+    DEFAULT_RATES,
+    ChurnResult,
+    fig_churn,
+)

@@ -75,6 +75,7 @@ from repro.sim.kernel import KernelSpec
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.faults.plan import FaultPlan
     from repro.harness.checkpoint import SweepCheckpoint
+    from repro.opensys.schedule import ArrivalSchedule
 
 #: Policies constructible inside a worker process, by name.  Each factory
 #: takes the resolved :class:`GPUConfig` of the run.
@@ -103,7 +104,9 @@ class WorkloadJob:
     both pickle cleanly.  ``policy`` is a :data:`POLICIES` key or None.
     ``faults`` optionally distorts the counter stream the estimators see
     (:class:`repro.faults.FaultPlan` — frozen, so it fingerprints and
-    pickles like every other field).
+    pickles like every other field).  ``arrivals`` optionally makes the
+    run open-system (:class:`repro.opensys.ArrivalSchedule` — likewise
+    frozen, fingerprintable, and picklable).
     """
 
     apps: tuple[KernelSpec | str, ...]
@@ -115,6 +118,7 @@ class WorkloadJob:
     warmup_intervals: int = 1
     cache_dir: str | None = None
     faults: "FaultPlan | None" = None
+    arrivals: "ArrivalSchedule | None" = None
 
     @property
     def key(self) -> str:
@@ -188,6 +192,7 @@ def _execute_with_cache(
         warmup_intervals=job.warmup_intervals,
         alone_cache=cache,
         faults=job.faults,
+        arrivals=job.arrivals,
     )
     cache_stats = (
         {"hits": cache.hits, "misses": cache.misses, "stores": cache.stores}
@@ -674,6 +679,7 @@ def run_workloads(
     cache_dir: str | None = None,
     progress=None,
     faults: "FaultPlan | None" = None,
+    arrivals: "ArrivalSchedule | None" = None,
     timeout_s: float | None = None,
     retries: int | None = None,
     checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
@@ -702,6 +708,7 @@ def run_workloads(
             warmup_intervals=warmup_intervals,
             cache_dir=cache_dir,
             faults=faults,
+            arrivals=arrivals,
         )
         for combo in workloads
     ]

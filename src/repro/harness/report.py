@@ -6,6 +6,7 @@ from typing import Iterable, Sequence
 
 from repro.harness.experiments import (
     AccuracyResult,
+    ChurnResult,
     DegradationResult,
     Fig2Result,
     Fig3Result,
@@ -147,6 +148,46 @@ def render_degradation(res: DegradationResult) -> str:
         f"(seed {res.seed}):\n" + body +
         f"\nDASE error vs σ: {verdict}"
     )
+    if res.failures:
+        out += "\nfailed runs:\n" + "\n".join(
+            f"  {k}: {v}" for k, v in sorted(res.failures.items())
+        )
+    return out
+
+
+def render_churn(res: ChurnResult) -> str:
+    metric_names = ("unfairness", "jain", "p95", "p99", "gini_wait")
+    rows = []
+    for rate in res.rates:
+        for label in ("even", "fair"):
+            m = res.metrics.get(label, {}).get(rate, {})
+            err = res.dase_error.get(label, {}).get(rate)
+            rows.append(
+                [f"{rate:g}", label, res.n_arrivals.get(rate, "-"),
+                 "-" if err is None else pct(err)]
+                + [
+                    "-" if name not in m else f"{m[name]:.3f}"
+                    for name in metric_names
+                ]
+            )
+    body = table(
+        ["rate/kcyc", "policy", "arrivals", "DASE err"] + list(metric_names),
+        rows,
+    )
+    out = (
+        f"Open-system churn — base {'+'.join(res.base)}, pool "
+        f"{'+'.join(res.pool)} (seed {res.seed}):\n" + body
+    )
+    verdicts = res.verdicts()
+    disagree = {d["rate"] for d in res.disagreements()}
+    if verdicts:
+        vrows = [
+            [f"{rate:g}" + (" ⚠" if rate in disagree else "")]
+            + [verdicts[rate].get(name, "-") for name in metric_names]
+            for rate in res.rates if rate in verdicts
+        ]
+        out += "\n\nfairer policy per metric (⚠ = metrics disagree):\n"
+        out += table(["rate/kcyc"] + list(metric_names), vrows)
     if res.failures:
         out += "\nfailed runs:\n" + "\n".join(
             f"  {k}: {v}" for k, v in sorted(res.failures.items())

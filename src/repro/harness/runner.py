@@ -23,7 +23,14 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.config import GPUConfig
 from repro.core import ASM, DASE, MISE, PriorityRotator, SlowdownEstimator
-from repro.metrics import estimation_error, harmonic_speedup, unfairness
+from repro.metrics import (
+    estimation_error,
+    gini,
+    harmonic_speedup,
+    jains_index,
+    tail_slowdown,
+    unfairness,
+)
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import EventTracer, Observation
 from repro.sim.gpu import GPU, LaunchedKernel
@@ -35,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay_cache
     from repro.faults.inject import FaultInjector
     from repro.faults.plan import FaultPlan
     from repro.harness.replay_cache import AloneReplayCache
+    from repro.opensys.schedule import ArrivalSchedule
 
 
 def full_scale() -> bool:
@@ -62,43 +70,83 @@ def scaled_config(**overrides) -> GPUConfig:
 
 @dataclass
 class WorkloadResult:
-    """Everything measured for one workload run."""
+    """Everything measured for one workload run.
+
+    Open-system runs (``arrivals=`` given) add two per-app lists:
+    ``resident_cycles`` — cycles inside the app's residency window (equal
+    to ``shared_cycles`` for launch-time apps that never depart; 0 for an
+    arrival that was never admitted) — and ``waiting_cycles`` — admission
+    latency (arrival → first owned SM).  Both stay empty for closed runs.
+    An app's ``actual_slowdowns`` entry is ``None`` when it executed no
+    instructions (never admitted): there is nothing to replay alone, so no
+    ground truth exists for it.
+    """
 
     names: list[str]
     sm_partition: list[int]
     shared_cycles: int
     instructions: list[int]
     alone_cycles: list[int]
-    actual_slowdowns: list[float]
+    actual_slowdowns: list[float | None]
     estimates: dict[str, list[float | None]]  # model name → per-app estimate
     bandwidth: dict[str, float] = field(default_factory=dict)
     final_sm_partition: list[int] = field(default_factory=list)
+    resident_cycles: list[int] = field(default_factory=list)
+    waiting_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def present_slowdowns(self) -> list[float]:
+        """Actual slowdowns of apps that have one (closed runs: all)."""
+        return [s for s in self.actual_slowdowns if s is not None]
 
     @property
     def actual_unfairness(self) -> float:
-        return unfairness(self.actual_slowdowns)
+        return unfairness(self.present_slowdowns)
 
     @property
     def actual_hspeedup(self) -> float:
-        return harmonic_speedup(self.actual_slowdowns)
+        return harmonic_speedup(self.present_slowdowns)
+
+    def fairness_metrics(self) -> dict[str, float]:
+        """The multi-metric fairness readout over present slowdowns.
+
+        ``gini_wait`` (only when the run was open-system) measures how
+        unevenly admission latency was distributed across the roster.
+        These metrics deliberately disagree sometimes — see docs/model.md.
+        """
+        present = self.present_slowdowns
+        out = {
+            "unfairness": unfairness(present),
+            "jain": jains_index(present),
+            "p95": tail_slowdown(present, 0.95),
+            "p99": tail_slowdown(present, 0.99),
+        }
+        if self.waiting_cycles:
+            out["gini_wait"] = gini([float(w) for w in self.waiting_cycles])
+        return out
 
     def errors(self, model: str) -> list[float]:
         """Per-app |estimate − actual| / actual for one model.
 
         Apps whose estimate is ``None`` (the model produced nothing for
-        them) are skipped here; :meth:`skipped` reports how many, so
-        aggregation over workloads can state the true sample count
+        them) — or whose *actual* is ``None`` (never-admitted arrival, no
+        ground truth) — are skipped here; :meth:`skipped` reports how many,
+        so aggregation over workloads can state the true sample count
         instead of quietly averaging over fewer apps than it claims.
         """
         out = []
         for est, act in zip(self.estimates[model], self.actual_slowdowns):
-            if est is not None:
+            if est is not None and act is not None:
                 out.append(estimation_error(est, act))
         return out
 
     def skipped(self, model: str) -> int:
-        """Number of apps with no estimate (``None``) from ``model``."""
-        return sum(1 for est in self.estimates[model] if est is None)
+        """Number of apps with no (estimate, actual) pair for ``model``."""
+        return sum(
+            1
+            for est, act in zip(self.estimates[model], self.actual_slowdowns)
+            if est is None or act is None
+        )
 
     @property
     def skipped_counts(self) -> dict[str, int]:
@@ -123,6 +171,8 @@ class WorkloadResult:
             "estimates": {m: list(v) for m, v in self.estimates.items()},
             "bandwidth": dict(self.bandwidth),
             "final_sm_partition": list(self.final_sm_partition),
+            "resident_cycles": list(self.resident_cycles),
+            "waiting_cycles": list(self.waiting_cycles),
         }
 
     @classmethod
@@ -137,6 +187,8 @@ class WorkloadResult:
             estimates={m: list(v) for m, v in d["estimates"].items()},
             bandwidth=dict(d.get("bandwidth", {})),
             final_sm_partition=list(d.get("final_sm_partition", [])),
+            resident_cycles=list(d.get("resident_cycles", [])),
+            waiting_cycles=list(d.get("waiting_cycles", [])),
         )
 
 
@@ -158,6 +210,7 @@ def run_workload(
     profile_path: str | None = None,
     trace: Observation | EventTracer | None = None,
     faults: "FaultPlan | FaultInjector | None" = None,
+    arrivals: "ArrivalSchedule | None" = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
@@ -188,6 +241,14 @@ def run_workload(
     a policy, fault-misled migrations feed back into the run, which is the
     unfairness-degradation effect ``fig-degradation`` charts.  A null plan
     resolves to no injector at all (docs/faults.md).
+
+    ``arrivals`` (an :class:`repro.opensys.ArrivalSchedule`) turns the run
+    into an open system: the schedule's applications join the roster after
+    ``apps`` and arrive/depart on interval boundaries, driven by an
+    :class:`repro.opensys.OpenSystemDriver`.  Actual slowdowns are then
+    normalised over each app's *residency window* rather than the whole
+    run, and the result carries ``resident_cycles``/``waiting_cycles``.  A
+    null schedule is the closed-system identity (docs/workloads.md).
     """
     obs: Observation | None
     if trace is None:
@@ -208,14 +269,14 @@ def run_workload(
         try:
             return _run_workload(
                 apps, config, shared_cycles, sm_partition, models,
-                policy, warmup_intervals, alone_cache, obs, faults,
+                policy, warmup_intervals, alone_cache, obs, faults, arrivals,
             )
         finally:
             profiler.disable()
             profiler.dump_stats(profile_path)
     return _run_workload(
         apps, config, shared_cycles, sm_partition, models,
-        policy, warmup_intervals, alone_cache, obs, faults,
+        policy, warmup_intervals, alone_cache, obs, faults, arrivals,
     )
 
 
@@ -230,13 +291,39 @@ def _run_workload(
     alone_cache: "AloneReplayCache | None",
     obs: Observation | None = None,
     faults: "FaultPlan | FaultInjector | None" = None,
+    arrivals: "ArrivalSchedule | None" = None,
 ) -> WorkloadResult:
     config = config or scaled_config()
     shared_cycles = shared_cycles or default_shared_cycles()
-    names, specs = zip(*(_resolve(a) for a in apps))
+    resolved = [_resolve(a) for a in apps]
+    n_base = len(resolved)
+    open_sched = None
+    if arrivals is not None and not arrivals.is_null:
+        open_sched = arrivals
+        resolved += [_resolve(a.app) for a in arrivals.arrivals]
+    names = [n for n, _ in resolved]
+    specs = [s for _, s in resolved]
     kernels = [LaunchedKernel(s, restart=True, stream_id=i) for i, s in enumerate(specs)]
 
-    gpu = GPU(config, kernels, sm_partition, obs=obs)
+    headroom = 0
+    if open_sched is not None and sm_partition is None:
+        # Even split over the launch-time apps; arrivals start with no SMs.
+        # When arrivals are expected, a small idle reserve lets them be
+        # admitted at the next boundary instead of waiting out a full
+        # block-drain (docs/workloads.md#open-system-schedules).
+        if open_sched.arrivals:
+            headroom = min(max(1, config.n_sms // 8), config.n_sms - n_base)
+        avail = config.n_sms - headroom
+        base_sms = avail // n_base
+        extra = avail % n_base
+        sm_partition = [
+            base_sms + (1 if i < extra else 0) for i in range(n_base)
+        ] + [0] * len(open_sched.arrivals)
+
+    gpu = GPU(
+        config, kernels, sm_partition, obs=obs,
+        allow_inactive=open_sched is not None,
+    )
     obs = gpu.obs  # picks up a process-wide recording when trace wasn't given
     initial_partition = gpu.sm_counts()
 
@@ -294,6 +381,17 @@ def _run_workload(
         if injector is not None and hasattr(policy, "inject_faults"):
             policy.inject_faults(injector)
         policy.attach(gpu)
+    driver = None
+    if open_sched is not None:
+        # Attached last: estimators, telemetry, and the policy all see the
+        # roster as it was for the interval that just closed; membership
+        # changes land before the *next* interval starts.
+        from repro.opensys.driver import OpenSystemDriver
+
+        driver = OpenSystemDriver(
+            open_sched, n_base, rebalance=policy is None, headroom=headroom
+        )
+        driver.attach(gpu)
 
     gpu.run(shared_cycles)
     if obs is not None:
@@ -303,9 +401,22 @@ def _run_workload(
     bandwidth = {n: gpu.bandwidth_utilization(i) for i, n in enumerate(names)}
     bandwidth["total"] = gpu.bandwidth_utilization()
 
+    resident_cycles: list[int] = []
+    waiting_cycles: list[int] = []
+    if driver is not None:
+        run_end = gpu.engine.now
+        for start, end in driver.windows(run_end):
+            resident_cycles.append(0 if start is None else end - start)
+        waiting_cycles = driver.waiting(run_end)
+
     # Alone replays: full GPU, same stream identity, same instruction count.
     alone_cycles: list[int] = []
     for i, spec in enumerate(specs):
+        if driver is not None and instructions[i] == 0:
+            # Never admitted (or drained before issuing anything): there is
+            # nothing to replay and no ground-truth slowdown.
+            alone_cycles.append(0)
+            continue
         cached = (
             alone_cache.get(spec, i, config, instructions[i])
             if alone_cache is not None
@@ -327,7 +438,17 @@ def _run_workload(
         if alone_cache is not None:
             alone_cache.put(spec, i, config, instructions[i], alone.engine.now)
 
-    actual = [shared_cycles / c for c in alone_cycles]
+    actual: list[float | None]
+    if driver is not None:
+        # Partial-lifetime accounting: an arrival that was resident for a
+        # third of the window must not be compared against the whole window
+        # — its slowdown is T_resident / T_alone over the same instructions.
+        actual = [
+            None if alone_cycles[i] == 0 else resident_cycles[i] / alone_cycles[i]
+            for i in range(len(specs))
+        ]
+    else:
+        actual = [shared_cycles / c for c in alone_cycles]
     estimates = {
         name: est.mean_estimates(warmup_intervals) for name, est in estimators.items()
     }
@@ -341,4 +462,6 @@ def _run_workload(
         estimates=estimates,
         bandwidth=bandwidth,
         final_sm_partition=gpu.sm_counts(),
+        resident_cycles=resident_cycles,
+        waiting_cycles=waiting_cycles,
     )

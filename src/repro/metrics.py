@@ -57,6 +57,65 @@ def mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def jains_index(slowdowns: Sequence[float]) -> float:
+    """Jain's fairness index: (Σ s)² / (N · Σ s²), in (0, 1].
+
+    1.0 iff every slowdown is equal; approaches 1/N as one application's
+    slowdown dominates.  Unlike max/min unfairness (Eq. 2), Jain's index
+    sees the whole distribution, so the two can rank schedules differently
+    (see docs/model.md) — which is why ``fig-churn`` reports both.
+    """
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if any(s <= 0 for s in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    total = sum(slowdowns)
+    return total * total / (len(slowdowns) * sum(s * s for s in slowdowns))
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample, in [0, 1).
+
+    0.0 = perfectly equal; → 1 as one member takes everything.  Used on
+    per-application *waiting times* in the open-system readout (how
+    unevenly admission latency is distributed), where a mean alone hides
+    one starved arrival behind many instant admissions.  All-zero input
+    (nobody waited) is defined as perfectly equal: 0.0.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    n = len(values)
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    weighted = sum((i + 1) * v for i, v in enumerate(ordered))
+    return (2.0 * weighted) / (n * total) - (n + 1) / n
+
+
+def tail_slowdown(slowdowns: Sequence[float], q: float = 0.99) -> float:
+    """q-quantile of the slowdown distribution (linear interpolation).
+
+    p95/p99 tail slowdowns complement unfairness ratios: they are absolute
+    (a schedule can be "fair" with everyone equally slow), and they ignore
+    the best-treated application entirely.
+    """
+    if not slowdowns:
+        raise ValueError("need at least one slowdown")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(slowdowns)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 def error_distribution(
     errors: Sequence[float], edges: Sequence[float] = (0.1, 0.2, 0.3, 0.4)
 ) -> dict[str, float]:

@@ -28,6 +28,7 @@ from repro.obs.tracer import EventTracer
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.harness.experiments import DegradationResult
     from repro.harness.runner import WorkloadResult
+    from repro.opensys.churn import ChurnResult
     from repro.obs.audit import AuditLog, DecisionAudit
     from repro.obs.registry import MetricsRegistry
     from repro.obs.telemetry import Telemetry
@@ -181,10 +182,11 @@ def _summary_table(result: "WorkloadResult") -> str:
     )
     rows = []
     for i, name in enumerate(result.names):
+        act = result.actual_slowdowns[i]
         cells = [
             f"<td>{_esc(name)}</td>",
             f"<td>{result.sm_partition[i]}</td>",
-            f"<td>{result.actual_slowdowns[i]:.3f}</td>",
+            f"<td>{'—' if act is None else f'{act:.3f}'}</td>",
         ]
         for m in models:
             e = result.estimates[m][i]
@@ -650,6 +652,111 @@ def export_degradation_report(
     path: str | os.PathLike, result: "DegradationResult"
 ) -> str:
     html = render_degradation_report(result)
+    with open(path, "w") as fh:
+        fh.write(html)
+    return html
+
+
+def render_churn_report(result: "ChurnResult") -> str:
+    """Churn panels: DASE error and the fairness readout vs arrival rate.
+
+    Three views of a :class:`~repro.opensys.churn.ChurnResult`: estimator
+    error per policy, each fairness metric's even/fair ratio (so the five
+    metrics share one axis), and the per-rate verdict table with
+    disagreements called out — the chart the nonstationarity test layer
+    pins (docs/model.md on why the metrics may disagree).
+    """
+    body: list[str] = []
+    base = "+".join(result.base)
+    rates = result.rates
+    body.append("<h2>Estimation accuracy under churn</h2>")
+    err_series = []
+    for slot, label in enumerate(("even", "fair")):
+        curve = result.dase_error.get(label, {})
+        pts = [(r, curve[r]) for r in rates if r in curve]
+        if pts:
+            err_series.append({"label": label, "slot": slot, "points": pts})
+    if err_series:
+        body.append(_line_chart(
+            f"DASE mean relative error vs arrival rate ({base})",
+            err_series,
+            y_label="mean |est − actual| / actual",
+            x_label="arrivals per kilocycle",
+        ))
+
+    body.append("<h2>Fairness metrics vs arrival rate</h2>")
+    metric_names = ("unfairness", "jain", "p95", "p99", "gini_wait")
+    ratio_series = []
+    for slot, name in enumerate(metric_names):
+        pts = []
+        for r in rates:
+            even = result.metrics.get("even", {}).get(r, {})
+            fair = result.metrics.get("fair", {}).get(r, {})
+            if name in even and name in fair and even[name] != 0:
+                pts.append((r, fair[name] / even[name]))
+        if pts:
+            ratio_series.append({"label": name, "slot": slot, "points": pts})
+    if ratio_series:
+        body.append(_line_chart(
+            f"DASE-Fair / even ratio per metric ({base})",
+            ratio_series,
+            y_label="fair ÷ even (1.0 = no difference)",
+            x_label="arrivals per kilocycle",
+        ))
+        body.append(
+            "<p class=\"note\">Below 1.0 DASE-Fair improved the metric for "
+            "lower-is-fairer metrics (unfairness, p95, p99, gini_wait); for "
+            "Jain's index <em>above</em> 1.0 is the improvement.</p>"
+        )
+
+    verdicts = result.verdicts()
+    disagree_rates = {d["rate"] for d in result.disagreements()}
+    rows = []
+    for r in rates:
+        row = verdicts.get(r, {})
+        cells = "".join(
+            f"<td>{_esc(row.get(name, '-'))}</td>" for name in metric_names
+        )
+        mark = " ⚠ disagree" if r in disagree_rates else ""
+        rows.append(f"<tr><td>{_fmt(r)}{_esc(mark)}</td>{cells}</tr>")
+    heads = "".join(f"<th>{_esc(n)}</th>" for n in metric_names)
+    body.append(
+        "<h2>Which policy is fairer, per metric</h2>"
+        f"<table><thead><tr><th>rate</th>{heads}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    if disagree_rates:
+        body.append(
+            "<p class=\"note\">Rates marked ⚠ are scenarios where the "
+            "fairness metrics pick opposite winners — the readout is "
+            "multi-metric precisely because no single scalar captures "
+            "open-system fairness (docs/model.md).</p>"
+        )
+    if result.failures:
+        items = "".join(
+            f"<tr><td><code>{_esc(k)}</code></td><td>{_esc(v)}</td></tr>"
+            for k, v in sorted(result.failures.items())
+        )
+        body.append(
+            "<h2>Failed runs</h2><table><thead><tr><th>run</th>"
+            f"<th>error</th></tr></thead><tbody>{items}</tbody></table>"
+        )
+    body.append(
+        f"<p class=\"note\">seed {result.seed} · pool "
+        f"{_esc('+'.join(result.pool))} · mean lifetime "
+        f"{result.mean_lifetime} cycles · window {result.shared_cycles} "
+        "cycles · each rate replays one schedule under both policies.</p>"
+    )
+    return _PAGE.substitute(
+        title=_esc(f"open-system churn — {base}"),
+        subtitle="generated by repro fig-churn — repro.opensys arrival-rate "
+                 "sweep",
+        body="\n".join(body),
+    )
+
+
+def export_churn_report(path: str | os.PathLike, result: "ChurnResult") -> str:
+    html = render_churn_report(result)
     with open(path, "w") as fh:
         fh.write(html)
     return html

@@ -1,0 +1,40 @@
+"""Open-system workloads: dynamic arrivals, departures, and churn studies.
+
+The closed-system harness launches every application at cycle 0 and holds
+the roster fixed; this package turns the same simulator into an *open*
+system.  :mod:`repro.opensys.schedule` builds seed-deterministic arrival
+schedules (Poisson or trace-driven), :mod:`repro.opensys.driver` replays
+them on interval boundaries, and :mod:`repro.opensys.churn` sweeps arrival
+rate to chart estimator accuracy and fairness-metric (dis)agreement under
+nonstationary load (``repro fig-churn``).
+"""
+
+from repro.opensys.driver import OpenSystemDriver
+from repro.opensys.schedule import (
+    AppArrival,
+    ArrivalSchedule,
+    poisson_schedule,
+    trace_schedule,
+)
+
+__all__ = [
+    "AppArrival",
+    "ArrivalSchedule",
+    "poisson_schedule",
+    "trace_schedule",
+    "OpenSystemDriver",
+    "fig_churn",
+    "ChurnResult",
+    "DEFAULT_RATES",
+]
+
+
+def __getattr__(name: str):
+    # fig_churn lives behind a lazy hook: churn.py imports the harness,
+    # the harness imports the schedule/driver modules above — an eager
+    # import here would close that loop during interpreter start-up.
+    if name in ("fig_churn", "ChurnResult", "DEFAULT_RATES"):
+        from repro.opensys import churn
+
+        return getattr(churn, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

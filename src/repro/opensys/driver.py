@@ -1,0 +1,264 @@
+"""Interval-boundary driver that replays an :class:`ArrivalSchedule`.
+
+The driver is an interval listener (registered *after* estimators,
+telemetry, and the policy, so every other component sees a stable roster
+for the interval that just closed).  On each boundary it:
+
+1. sweeps stale SM ownership back to the idle pool,
+2. applies due departures (graceful drain of every owned SM),
+3. applies due arrivals (dispatch gate opens; app joins the FIFO
+   admission queue),
+4. admits queued apps — from the idle pool when possible, otherwise by
+   draining one SM from the richest resident app,
+5. hands any remaining idle SMs to the poorest active apps, and
+6. (only when no policy is attached) evens out the partition so the
+   baseline open-system run is not an accident of arrival order.
+
+Every action happens on interval boundaries and every tie is broken by
+app index, so the replay is exactly as deterministic as the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.opensys.schedule import ArrivalSchedule
+from repro.sim.gpu import GPU
+from repro.sim.stats import IntervalRecord
+
+
+class OpenSystemDriver:
+    """Applies arrivals/departures to a running :class:`GPU`.
+
+    ``n_base`` launch-time applications occupy roster slots ``0..n_base-1``;
+    the schedule's arrivals occupy ``n_base..`` in order.  ``rebalance``
+    enables step 6 above — the harness sets it False whenever a scheduling
+    policy owns the partition.
+    """
+
+    def __init__(
+        self,
+        schedule: ArrivalSchedule,
+        n_base: int,
+        rebalance: bool = True,
+        headroom: int = 0,
+    ) -> None:
+        """``headroom``: number of SMs the driver tries to keep *idle* as an
+        admission reserve.  Arrivals grab reserve SMs instantly instead of
+        waiting a full block-drain time (tens of thousands of cycles for
+        block-heavy kernels); the reserve refills from departures' freed
+        SMs before leftovers are redistributed.
+        """
+        if n_base < 1:
+            raise ValueError("need at least one launch-time application")
+        for idx, _cycle in schedule.base_departures:
+            if idx >= n_base:
+                raise ValueError(
+                    f"base departure index {idx} out of range ({n_base} base apps)"
+                )
+        self.schedule = schedule
+        self.n_base = n_base
+        self.n_apps = n_base + len(schedule.arrivals)
+        self.rebalance = rebalance
+        self.headroom = headroom
+        self.gpu: GPU | None = None
+
+        base_leaves = dict(schedule.base_departures)
+        self.arrival_cycle = [0] * n_base + [a.at for a in schedule.arrivals]
+        self.depart_at: list[int | None] = [
+            base_leaves.get(i) for i in range(n_base)
+        ] + [a.leave_at for a in schedule.arrivals]
+        self.admit_cycle: list[int | None] = [0] * n_base + [None] * len(
+            schedule.arrivals
+        )
+        self.drained_cycle: list[int | None] = [None] * self.n_apps
+        self._arrived = [True] * n_base + [False] * len(schedule.arrivals)
+        self._depart_requested = [False] * self.n_apps
+        self._drain_left = [0] * self.n_apps
+        self._queue: list[int] = []  # FIFO admission queue (app indices)
+        self._admit_migrating = [False] * self.n_apps
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, gpu: GPU) -> None:
+        if gpu.n_apps != self.n_apps:
+            raise ValueError(
+                f"GPU has {gpu.n_apps} kernels but the schedule implies "
+                f"{self.n_apps} (base {self.n_base} + "
+                f"{self.n_apps - self.n_base} arrivals)"
+            )
+        self.gpu = gpu
+        gpu.add_interval_listener(self._on_interval)
+
+    # --------------------------------------------------------------- events
+
+    def _on_interval(self, records: list[IntervalRecord]) -> None:
+        gpu = self.gpu
+        assert gpu is not None
+        now = gpu.engine.now
+        gpu.reclaim_idle_sms()
+        self._apply_departures(now)
+        self._apply_arrivals(now)
+        self._admit(now)
+        self._grant_leftovers()
+        if self.rebalance:
+            self._rebalance()
+
+    def _apply_departures(self, now: int) -> None:
+        gpu = self.gpu
+        for i in range(self.n_apps):
+            leave = self.depart_at[i]
+            if leave is None or self._depart_requested[i] or leave > now:
+                continue
+            self._depart_requested[i] = True
+            if i in self._queue:
+                # Arrived but never admitted: it leaves the queue with an
+                # empty residency window.
+                self._queue.remove(i)
+                self._admit_migrating[i] = False
+                self.drained_cycle[i] = now
+                gpu.app_active[i] = False
+                continue
+            pending = sum(1 for sm in gpu.sms_of(i) if not sm.draining)
+            if pending == 0:
+                self.drained_cycle[i] = now
+                gpu.deactivate_app(i)
+                continue
+            self._drain_left[i] = pending
+
+            def on_idle(sm, i=i) -> None:
+                self._drain_left[i] -= 1
+                if self._drain_left[i] == 0 and self.drained_cycle[i] is None:
+                    self.drained_cycle[i] = gpu.engine.now
+
+            gpu.deactivate_app(i, on_idle)
+
+    def _apply_arrivals(self, now: int) -> None:
+        gpu = self.gpu
+        for j, arrival in enumerate(self.schedule.arrivals):
+            i = self.n_base + j
+            if self._arrived[i] or arrival.at > now:
+                continue
+            self._arrived[i] = True
+            if self._depart_requested[i]:
+                continue  # departed before it ever arrived (degenerate trace)
+            gpu.activate_app(i)
+            self._queue.append(i)
+
+    def _admit(self, now: int) -> None:
+        gpu = self.gpu
+        n_active = sum(1 for active in gpu.app_active if active)
+        if n_active == 0:
+            return
+        fair = max(1, gpu.config.n_sms // n_active)
+        still_waiting: list[int] = []
+        for i in self._queue:
+            if self.admit_cycle[i] is not None:
+                # Admitted between intervals by a migration callback.
+                self._admit_migrating[i] = False
+                continue
+            got = gpu.grant_sms(i, fair)
+            if got > 0:
+                self.admit_cycle[i] = now
+                self._admit_migrating[i] = False
+                continue
+            if not self._admit_migrating[i]:
+                donor = self._richest_donor(exclude=i)
+                if donor is not None:
+                    self._admit_migrating[i] = True
+
+                    def on_each(sm, i=i) -> None:
+                        if self.admit_cycle[i] is None:
+                            self.admit_cycle[i] = gpu.engine.now
+
+                    gpu.migrate_sms(donor, i, 1, on_each=on_each)
+            still_waiting.append(i)
+        self._queue = still_waiting
+
+    def _richest_donor(self, exclude: int) -> int | None:
+        gpu = self.gpu
+        counts = gpu.sm_counts()
+        best: int | None = None
+        for i in range(self.n_apps):
+            if i == exclude or not gpu.app_active[i] or counts[i] < 2:
+                continue
+            if best is None or counts[i] > counts[best]:
+                best = i
+        return best
+
+    def _grant_leftovers(self) -> None:
+        """Redistribute idle SMs beyond the admission reserve."""
+        gpu = self.gpu
+        while True:
+            idle = sum(
+                1
+                for sm in gpu.sms
+                if sm.app is None and not sm.draining and not sm.blocks
+            )
+            if idle <= self.headroom:
+                return
+            counts = gpu.sm_counts()
+            active = [i for i in range(self.n_apps) if gpu.app_active[i]]
+            if not active:
+                return
+            poorest = min(active, key=lambda i: (counts[i], i))
+            if gpu.grant_sms(poorest, 1) == 0:
+                return
+
+    def _rebalance(self) -> None:
+        """Even the partition out, one migration batch per interval."""
+        gpu = self.gpu
+        if any(sm.draining for sm in gpu.sms):
+            return
+        counts = gpu.sm_counts()
+        active = [
+            i for i in range(self.n_apps) if gpu.app_active[i] and counts[i] > 0
+        ]
+        if len(active) < 2:
+            return
+        rich = max(active, key=lambda i: (counts[i], -i))
+        poor = min(active, key=lambda i: (counts[i], i))
+        gap = counts[rich] - counts[poor]
+        if gap >= 2:
+            gpu.migrate_sms(rich, poor, gap // 2)
+
+    # ------------------------------------------------------------- readouts
+
+    def windows(self, run_end: int) -> list[tuple[int | None, int | None]]:
+        """Per-app residency window ``(first cycle, last cycle)``.
+
+        Base apps start at 0; a dynamic app's window opens at its admit
+        cycle (the first cycle it owned an SM) or is ``(None, None)`` if it
+        was never admitted.  The window closes at the drain-completion
+        cycle, or at ``run_end`` for apps still resident when the run ends.
+        """
+        out: list[tuple[int | None, int | None]] = []
+        for i in range(self.n_apps):
+            start = self.admit_cycle[i]
+            if start is None:
+                out.append((None, None))
+                continue
+            end = self.drained_cycle[i]
+            out.append((start, end if end is not None else run_end))
+        return out
+
+    def waiting(self, run_end: int) -> list[int]:
+        """Per-app admission latency in cycles (0 for launch-time apps).
+
+        A dynamic app that was never admitted waited from its arrival until
+        it gave up — its departure if scheduled, otherwise the end of the
+        run.
+        """
+        out: list[int] = []
+        for i in range(self.n_apps):
+            if i < self.n_base:
+                out.append(0)
+                continue
+            if not self._arrived[i]:
+                out.append(0)  # the run ended before this arrival was due
+                continue
+            admit = self.admit_cycle[i]
+            if admit is not None:
+                out.append(admit - self.arrival_cycle[i])
+            else:
+                end = self.drained_cycle[i]
+                out.append((end if end is not None else run_end) - self.arrival_cycle[i])
+        return out

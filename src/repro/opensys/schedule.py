@@ -1,0 +1,188 @@
+"""Seed-deterministic open-system arrival schedules.
+
+A closed workload launches every application at cycle 0 and keeps it
+resident for the whole window; an :class:`ArrivalSchedule` turns the same
+run into an *open* system: extra applications arrive mid-run (Poisson- or
+trace-driven), and applications — arrived or launch-time — may depart.
+
+Like :class:`repro.faults.FaultPlan`, a schedule is a frozen, hashable
+value object: it pickles across the process-pool boundary, participates in
+sweep-checkpoint fingerprints unchanged, and :meth:`ArrivalSchedule.digest`
+gives a stable content hash for golden files.  All randomness lives in
+:func:`poisson_schedule`, which derives one private RNG from its seed —
+the schedule itself is pure data, so replaying it is exactly as
+deterministic as the closed-system simulator underneath.
+
+Timing semantics (docs/workloads.md#open-system-schedules): event cycles
+are *requests*.  The driver applies them at the first estimation-interval
+boundary at or after the requested cycle — arrivals cannot preempt a
+running interval, mirroring how the paper's mechanisms only act on
+interval boundaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class AppArrival:
+    """One dynamic application: when it arrives and (optionally) leaves.
+
+    ``app`` is a suite name (resolved against :data:`repro.workloads.SUITE`
+    at run time) or an explicit frozen :class:`KernelSpec`.  ``at`` /
+    ``leave_at`` are core-cycle *requests*; the driver acts on the next
+    interval boundary.  ``leave_at=None`` means the application stays until
+    the window closes.
+    """
+
+    app: KernelSpec | str
+    at: int
+    leave_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError("arrivals must be scheduled after cycle 0 "
+                             "(launch-time apps belong in the base workload)")
+        if self.leave_at is not None and self.leave_at <= self.at:
+            raise ValueError("an application must leave after it arrives")
+
+    @property
+    def name(self) -> str:
+        return self.app if isinstance(self.app, str) else self.app.name
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A full open-system scenario: arrivals plus base-app departures.
+
+    ``arrivals`` are dynamic applications appended to the roster after the
+    base workload; ``base_departures`` schedules launch-time applications
+    (by index into the base workload) to drain mid-run.  ``seed``/``rate``
+    are provenance only — they record how :func:`poisson_schedule` built
+    the object and take no part in replay.
+    """
+
+    arrivals: tuple[AppArrival, ...] = ()
+    base_departures: tuple[tuple[int, int], ...] = ()  # (base index, cycle)
+    seed: int | None = None
+    rate: float | None = None  # arrivals per kilocycle (provenance)
+    horizon: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrivals", tuple(self.arrivals))
+        object.__setattr__(
+            self, "base_departures", tuple(tuple(d) for d in self.base_departures)
+        )
+        seen: set[int] = set()
+        for idx, cycle in self.base_departures:
+            if idx < 0:
+                raise ValueError("base_departures indexes the base workload")
+            if cycle < 1:
+                raise ValueError("departures must be scheduled after cycle 0")
+            if idx in seen:
+                raise ValueError(f"base app {idx} departs twice")
+            seen.add(idx)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the schedule changes nothing (closed-system identity)."""
+        return not self.arrivals and not self.base_departures
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.arrivals]
+
+    def inter_arrival_cycles(self) -> list[int]:
+        """Gaps between consecutive arrival cycles (first gap from 0)."""
+        cycles = sorted(a.at for a in self.arrivals)
+        return [b - a for a, b in zip([0] + cycles, cycles)]
+
+    def digest(self) -> str:
+        """Stable content hash (sha256 hex) over the replayed events only.
+
+        Provenance fields (``seed``/``rate``/``horizon``) are excluded:
+        two schedules that replay identically digest identically.
+        """
+        parts: list[str] = []
+        for a in self.arrivals:
+            spec = a.app if isinstance(a.app, str) else _spec_key(a.app)
+            parts.append(f"arrive/{spec}/{a.at}/{a.leave_at}")
+        for idx, cycle in self.base_departures:
+            parts.append(f"depart/{idx}/{cycle}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def _spec_key(spec: KernelSpec) -> str:
+    """Canonical field dump of an inline spec (order fixed by the class)."""
+    vals = [
+        f"{f.name}={getattr(spec, f.name)!r}" for f in dataclasses.fields(spec)
+    ]
+    return f"spec({','.join(vals)})"
+
+
+def poisson_schedule(
+    rate: float,
+    horizon: int,
+    seed: int,
+    pool: Sequence[str] = ("NN", "VA", "SC"),
+    mean_lifetime: int | None = None,
+    max_arrivals: int | None = None,
+) -> ArrivalSchedule:
+    """A Poisson arrival process: ``rate`` arrivals per *kilocycle*.
+
+    Inter-arrival times are exponential with mean ``1000 / rate`` cycles;
+    each arrival draws its application uniformly from ``pool``.  With
+    ``mean_lifetime``, lifetimes are exponential with that mean (in
+    cycles), and an application whose lifetime ends inside the horizon gets
+    a departure; otherwise everything stays resident.  The whole process is
+    a pure function of the arguments — one private RNG seeded from
+    ``seed`` — so equal arguments give bit-equal schedules.
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if horizon < 2:
+        raise ValueError("horizon too short for any arrival")
+    if not pool:
+        raise ValueError("need at least one application in the pool")
+    rng = random.Random(f"opensys/{seed}/{rate}/{horizon}")
+    mean_gap = 1000.0 / rate
+    arrivals: list[AppArrival] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(1.0 / mean_gap)
+        cycle = max(1, int(round(t)))
+        if cycle >= horizon:
+            break
+        if max_arrivals is not None and len(arrivals) >= max_arrivals:
+            break
+        name = pool[rng.randrange(len(pool))]
+        leave_at: int | None = None
+        if mean_lifetime is not None:
+            life = max(1, int(round(rng.expovariate(1.0 / mean_lifetime))))
+            if cycle + life < horizon:
+                leave_at = cycle + life
+        arrivals.append(AppArrival(name, at=cycle, leave_at=leave_at))
+    return ArrivalSchedule(
+        arrivals=tuple(arrivals), seed=seed, rate=rate, horizon=horizon
+    )
+
+
+def trace_schedule(
+    events: Sequence[tuple[str, int] | tuple[str, int, int | None]],
+    base_departures: Sequence[tuple[int, int]] = (),
+) -> ArrivalSchedule:
+    """Trace-driven constructor: explicit ``(app, at[, leave_at])`` rows."""
+    arrivals = tuple(
+        AppArrival(row[0], row[1], row[2] if len(row) > 2 else None)
+        for row in events
+    )
+    return ArrivalSchedule(
+        arrivals=arrivals, base_departures=tuple(base_departures)
+    )

@@ -73,6 +73,7 @@ def best_partition(
     current: Sequence[int],
     total_sms: int,
     scores_out: list[tuple[tuple[int, ...], float]] | None = None,
+    budget: int | None = None,
 ) -> tuple[tuple[int, ...], float]:
     """Exhaustive search (paper: 'we search all possible SM allocation
     schemes') for the partition minimizing predicted unfairness.
@@ -81,13 +82,19 @@ def best_partition(
     given, every candidate's (partition, unfairness) is appended to it in
     search order — the audit layer records them so each decision can be
     replayed (the chosen target is the first minimum of the list).
+
+    ``budget`` restricts the search to partitions of that many SMs instead
+    of the whole machine (open-system runs: only the SMs currently owned
+    by resident apps are up for reallocation; the idle admission reserve
+    and draining departures stay out of the pool).  Interpolation is still
+    anchored to ``total_sms`` — Eq. 29's endpoint is the machine size.
     """
     n = len(reciprocals)
     if n != len(current):
         raise ValueError("reciprocals and current partition length mismatch")
     best: tuple[int, ...] | None = None
     best_unf = float("inf")
-    for cand in _partitions(total_sms, n):
+    for cand in _partitions(total_sms if budget is None else budget, n):
         slowdowns = []
         for r, cur, tgt in zip(reciprocals, current, cand):
             pr = interpolate_reciprocal(r, cur, tgt, total_sms)
@@ -186,6 +193,10 @@ class DASEFairPolicy(AllocationPolicy):
         #: Fault injector (repro.faults) shared with the estimators, or
         #: None for the exact-counter path.
         self._faults: "FaultInjector | None" = None
+        #: Resident roster of the previous decision (open-system runs);
+        #: a change suspends hysteresis for one decision so the partition
+        #: re-interpolates promptly after an arrival or departure.
+        self._last_roster: tuple[int, ...] | None = None
 
     def inject_faults(self, injector: "FaultInjector | None") -> None:
         """Route the policy's interval inputs through the shared injector
@@ -230,6 +241,11 @@ class DASEFairPolicy(AllocationPolicy):
             if audit is not None:
                 self._record_hold(audit, "migration-draining")
             return
+        if not all(gpu.app_active):
+            # Open-system run with a partial roster: decide over the
+            # resident apps only.
+            self._on_interval_open(records, audit)
+            return
         if any(r.tb_unfinished < self.min_tb_unfinished for r in records):
             if audit is not None:
                 self._record_hold(audit, "too-few-thread-blocks")
@@ -244,6 +260,7 @@ class DASEFairPolicy(AllocationPolicy):
             if audit is not None:
                 self._record_hold(audit, "app-without-sm", recs)
             return
+        self._last_roster = tuple(range(gpu.n_apps))
         scores = [] if audit is not None else None
         target, predicted = best_partition(
             recs, current, self.config.n_sms, scores_out=scores
@@ -270,6 +287,86 @@ class DASEFairPolicy(AllocationPolicy):
             self._record_scored(
                 audit, "recommend" if self.dry_run else "migrate",
                 "improvement", recs, current, target, current_unf,
+                predicted, scores, plan,
+            )
+        if self.dry_run:
+            return
+        self.decisions.append((gpu.engine.now, target))
+        self._apply(plan)
+
+    def _on_interval_open(
+        self, records: list[IntervalRecord], audit: "AuditLog | None"
+    ) -> None:
+        """Partial-roster decision: repartition only the SMs owned by
+        resident (active, ≥ 1 SM) applications.
+
+        A roster change since the previous decision drops the hysteresis
+        margin to zero for this decision — after an arrival or departure
+        the current split is an accident of admission, so the policy
+        re-interpolates immediately instead of defending the status quo
+        (reason ``"membership-change"`` in the audit record).
+        """
+        gpu = self.gpu
+        current = gpu.sm_counts()
+        roster = tuple(
+            i for i in range(gpu.n_apps)
+            if gpu.app_active[i] and current[i] > 0
+        )
+        changed = self._last_roster is not None and roster != self._last_roster
+        self._last_roster = roster
+        if len(roster) < 2:
+            if audit is not None:
+                self._record_hold(audit, "single-resident-app")
+            return
+        if any(
+            records[i].tb_unfinished < self.min_tb_unfinished for i in roster
+        ):
+            if audit is not None:
+                self._record_hold(audit, "too-few-thread-blocks")
+            return
+        recs_all = self.estimator.latest_reciprocals()
+        if not recs_all or any(recs_all[i] is None for i in roster):
+            if audit is not None:
+                self._record_hold(audit, "no-estimate", recs_all)
+            return
+        sub_recs = [recs_all[i] for i in roster]
+        sub_cur = [current[i] for i in roster]
+        scores = [] if audit is not None else None
+        sub_target, predicted = best_partition(
+            sub_recs, sub_cur, self.config.n_sms,
+            scores_out=scores, budget=sum(sub_cur),
+        )
+        target_full = list(current)
+        for i, t in zip(roster, sub_target):
+            target_full[i] = t
+        target = tuple(target_full)
+
+        slowdowns = [1.0 / max(r, 1e-6) for r in sub_recs]
+        current_unf = max(slowdowns) / min(slowdowns)
+        # Audit records stay roster-local (reciprocals/current/target all
+        # index the roster); the plan's app indices are global because it
+        # describes the actual migrate_sms calls.
+        if target == tuple(current):
+            if audit is not None:
+                self._record_scored(
+                    audit, "hold", "already-optimal", sub_recs, sub_cur,
+                    sub_target, current_unf, predicted, scores, None,
+                )
+            return
+        margin = 0.0 if changed else self.improvement_margin
+        if predicted > current_unf * (1.0 - margin):
+            if audit is not None:
+                self._record_scored(
+                    audit, "hold", "hysteresis", sub_recs, sub_cur,
+                    sub_target, current_unf, predicted, scores, None,
+                )
+            return
+        plan = self._plan(current, target)
+        if audit is not None:
+            self._record_scored(
+                audit, "recommend" if self.dry_run else "migrate",
+                "membership-change" if changed else "improvement",
+                sub_recs, sub_cur, sub_target, current_unf,
                 predicted, scores, plan,
             )
         if self.dry_run:

@@ -8,7 +8,7 @@ slices, and FR-FCFS DRAM controllers with banked row buffers.
 
 from repro.sim.engine import Engine
 from repro.sim.interconnect import Crossbar
-from repro.sim.kernel import AccessPattern, KernelSpec
+from repro.sim.kernel import AccessPattern, KernelPhase, KernelSpec
 from repro.sim.gpu import GPU, LaunchedKernel
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "GPU",
     "LaunchedKernel",
     "KernelSpec",
+    "KernelPhase",
     "AccessPattern",
     "Crossbar",
 ]

@@ -93,11 +93,18 @@ class GPU:
         kernels: Sequence[LaunchedKernel | KernelSpec],
         sm_partition: Sequence[int] | None = None,
         obs: "Observation | bool | None" = None,
+        allow_inactive: bool = False,
     ) -> None:
         """``sm_partition[i]`` = number of SMs initially owned by app ``i``.
 
         Defaults to the paper's even split.  The partition must sum to at
         most ``config.n_sms``; leftover SMs stay idle.
+
+        ``allow_inactive`` (open-system runs): permits zero-SM entries in
+        the partition — those applications start *inactive* (no thread
+        blocks are dispatched for them) until :meth:`activate_app` +
+        :meth:`grant_sms` admit them.  The closed-system default keeps the
+        historical invariant that every application owns at least one SM.
 
         ``obs``: an :class:`repro.obs.Observation` to record this run into;
         defaults to the process-wide recording (``repro.obs.enable()``), or
@@ -120,10 +127,18 @@ class GPU:
         sm_partition = list(sm_partition)
         if len(sm_partition) != n_apps:
             raise ValueError("sm_partition length must match kernel count")
-        if any(s < 1 for s in sm_partition):
+        if allow_inactive:
+            if any(s < 0 for s in sm_partition):
+                raise ValueError("SM counts must be non-negative")
+            if not any(s > 0 for s in sm_partition):
+                raise ValueError("at least one application needs an SM")
+        elif any(s < 1 for s in sm_partition):
             raise ValueError("every application needs at least one SM")
         if sum(sm_partition) > config.n_sms:
             raise ValueError("sm_partition exceeds available SMs")
+        #: Dispatch gate per application: inactive apps get no new thread
+        #: blocks.  Closed-system runs keep every flag True forever.
+        self.app_active = [s > 0 or not allow_inactive for s in sm_partition]
 
         # Observability: resolved once, here — every component stores its own
         # direct tracer reference (or None), so the disabled hot path is a
@@ -223,6 +238,8 @@ class GPU:
     def _fill_sm(self, sm: SM) -> None:
         app = sm.app
         if app is None:
+            return
+        if not self.app_active[app]:
             return
         kernel = self.kernels[app]
         spec = kernel.spec
@@ -393,11 +410,83 @@ class GPU:
         for p in self.partitions:
             p.set_priority(app)
 
-    def migrate_sms(self, from_app: int, to_app: int, count: int) -> None:
+    def activate_app(self, app: int) -> None:
+        """Open the dispatch gate for ``app`` (open-system arrival)."""
+        self.app_active[app] = True
+
+    def deactivate_app(
+        self, app: int, on_idle: Callable[[SM], None] | None = None
+    ) -> None:
+        """Close the dispatch gate for ``app`` and drain its SMs to idle.
+
+        Graceful departure: resident thread blocks retire normally, then
+        each SM ends up unowned (``sm.app is None``).  ``on_idle`` fires per
+        SM at the exact drain-completion cycle so callers can time-stamp the
+        application's last resident cycle.
+        """
+        self.app_active[app] = False
+
+        def on_drained(sm: SM) -> None:
+            self._account_sm_time(self.engine.now)
+            if self._trace is not None:
+                self._trace.instant(
+                    "sm.detach", self.engine.now, PID_SIM, sm.sm_id,
+                    {"sm": sm.sm_id, "from": app},
+                )
+            if on_idle is not None:
+                on_idle(sm)
+
+        for sm in self.sms_of(app):
+            if not sm.draining:
+                self._account_sm_time(self.engine.now)
+                sm.start_draining(on_drained)
+
+    def grant_sms(self, app: int, count: int) -> int:
+        """Assign up to ``count`` idle SMs to ``app``; returns how many."""
+        granted = 0
+        for sm in self.sms:
+            if granted >= count:
+                break
+            if sm.app is None and not sm.draining and not sm.blocks:
+                self._account_sm_time(self.engine.now)
+                sm.assign_app(app)
+                self._fill_sm(sm)
+                granted += 1
+        return granted
+
+    def reclaim_idle_sms(self) -> None:
+        """Unassign SMs still owned by inactive apps once they sit empty.
+
+        A departed app's SMs normally go idle via the drain callback, but an
+        SM whose blocks all retired *before* ``start_draining`` was called
+        (or that never drained because draining was already in flight for a
+        migration) can keep stale ownership.  Sweeping on interval
+        boundaries keeps the idle pool accurate for admission.
+        """
+        for sm in self.sms:
+            app = sm.app
+            if (
+                app is not None
+                and not self.app_active[app]
+                and not sm.draining
+                and not sm.blocks
+            ):
+                self._account_sm_time(self.engine.now)
+                sm.assign_app(None)
+
+    def migrate_sms(
+        self,
+        from_app: int,
+        to_app: int,
+        count: int,
+        on_each: Callable[[SM], None] | None = None,
+    ) -> None:
         """Move ``count`` SMs from one app to another via draining.
 
         Non-blocking: donor SMs stop accepting blocks now and switch owners
         when their resident blocks retire, as in the paper's SM Draining.
+        ``on_each`` fires per SM right after the ownership switch (open-
+        system admission time-stamps).
         """
         donors = [sm for sm in self.sms_of(from_app) if not sm.draining]
         count = min(count, len(donors) - 1)  # never drain an app's last SM
@@ -414,6 +503,8 @@ class GPU:
                 )
             sm.assign_app(to_app)
             now_fill(sm)
+            if on_each is not None:
+                on_each(sm)
 
         for sm in donors[:count]:
             self._account_sm_time(self.engine.now)

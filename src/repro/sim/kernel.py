@@ -37,6 +37,37 @@ APP_SPACE_LINES = 1 << 22
 
 
 @dataclass(frozen=True)
+class KernelPhase:
+    """One phase of a phase-shifting kernel (open-system nonstationarity).
+
+    A phase covers ``insts`` instructions of every warp's budget and may
+    override the compute/memory mix knobs for that span; ``None`` fields
+    inherit the enclosing :class:`KernelSpec`.  Phase boundaries are
+    *declared instruction boundaries*: a step (compute burst + memory
+    instruction) never straddles them, so the per-warp instruction total is
+    conserved exactly regardless of how the budget is split into phases
+    (property-tested in ``tests/test_opensys.py``).
+    """
+
+    insts: int
+    compute_per_mem: float | None = None
+    store_fraction: float | None = None
+    wide_fraction: float | None = None
+    reuse_fraction: float | None = None
+    pattern: AccessPattern | None = None
+
+    def __post_init__(self) -> None:
+        if self.insts < 1:
+            raise ValueError("a phase covers at least one instruction")
+        if self.compute_per_mem is not None and self.compute_per_mem < 0:
+            raise ValueError("compute_per_mem must be non-negative")
+        for name in ("store_fraction", "wide_fraction", "reuse_fraction"):
+            v = getattr(self, name)
+            if v is not None and not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
 class KernelSpec:
     """Static description of one synthetic GPGPU application."""
 
@@ -62,6 +93,9 @@ class KernelSpec:
     max_resident_blocks: int | None = None  # per-SM occupancy limit (models
     # register/shared-memory pressure; low values make the kernel
     # latency-sensitive because TLP can no longer hide memory time)
+    phases: tuple[KernelPhase, ...] = ()  # phase schedule partitioning
+    # insts_per_warp; empty = stationary behaviour (the bit-identical
+    # pre-phase path — see WarpStream._refill)
 
     def __post_init__(self) -> None:
         if self.compute_per_mem < 0:
@@ -80,6 +114,14 @@ class KernelSpec:
             raise ValueError("memory instructions touch at least one line")
         if self.working_set_lines < 1 or self.hot_set_lines < 1:
             raise ValueError("working sets must be non-empty")
+        if self.phases:
+            object.__setattr__(self, "phases", tuple(self.phases))
+            covered = sum(p.insts for p in self.phases)
+            if covered != self.insts_per_warp:
+                raise ValueError(
+                    f"phases cover {covered} instructions but the warp "
+                    f"budget is {self.insts_per_warp}"
+                )
 
     @property
     def mem_fraction(self) -> float:
@@ -113,6 +155,7 @@ class WarpStream:
         "spec", "_rng", "_cursor", "_region_base", "_hot_base",
         "remaining_insts", "_line_bytes",
         "_bursts", "_addrs", "_stores", "_idx", "_gen_remaining",
+        "_phases", "_gen_phase_idx", "_gen_phase_rem",
     )
 
     def __init__(
@@ -150,6 +193,10 @@ class WarpStream:
         self._stores: list[bool] = []
         self._idx = 0
         self._gen_remaining = spec.insts_per_warp
+        # Phase schedule: None keeps the stationary fast path untouched.
+        self._phases = spec.phases or None
+        self._gen_phase_idx = 0
+        self._gen_phase_rem = spec.phases[0].insts if spec.phases else 0
 
     @property
     def done(self) -> bool:
@@ -162,6 +209,9 @@ class WarpStream:
         ``remaining`` steps are left — the chunk is clamped to that, keeping
         the overshoot past the run window at zero for finishing warps.
         """
+        if self._phases is not None:
+            self._refill_phased()
+            return
         spec = self.spec
         rng = self._rng
         uniform = rng.uniform
@@ -236,6 +286,102 @@ class WarpStream:
 
         self._cursor = cursor
         self._gen_remaining = remaining
+        self._bursts = bursts
+        self._addrs = addr_lists
+        self._stores = stores
+        self._idx = 0
+
+    def _refill_phased(self) -> None:
+        """Phase-aware pregeneration: same step shape as :meth:`_refill`,
+        but the mix knobs come from the phase owning the step, and the
+        compute burst is additionally clamped so the step's memory
+        instruction stays inside the current phase — a step never straddles
+        a declared phase boundary, which is what conserves the per-warp
+        instruction total exactly for every split of the budget."""
+        spec = self.spec
+        rng = self._rng
+        uniform = rng.uniform
+        rand = rng.random
+        randrange = rng.randrange
+        remaining = self._gen_remaining
+        phases = self._phases
+        pidx = self._gen_phase_idx
+        prem = self._gen_phase_rem
+        bursts: list[int] = []
+        addr_lists: list[list[int]] = []
+        stores: list[bool] = []
+
+        jitter = spec.burst_jitter
+        n_acc = spec.accesses_per_mem_inst
+        hot_base = self._hot_base
+        hot_lines = spec.hot_set_lines
+        region_base = self._region_base
+        ws_lines = spec.working_set_lines
+        stride = spec.stride_lines
+        line_bytes = self._line_bytes
+        cursor = self._cursor
+
+        limit = remaining if 0 < remaining <= _CHUNK else (
+            _CHUNK if remaining > 0 else 1  # past-done misuse: step at a time
+        )
+        for _ in range(limit):
+            while prem <= 0 and pidx + 1 < len(phases):
+                pidx += 1
+                prem = phases[pidx].insts
+            ph = phases[pidx]
+            mean = (spec.compute_per_mem if ph.compute_per_mem is None
+                    else ph.compute_per_mem)
+            sf = (spec.store_fraction if ph.store_fraction is None
+                  else ph.store_fraction)
+            wf = (spec.wide_fraction if ph.wide_fraction is None
+                  else ph.wide_fraction)
+            rf = (spec.reuse_fraction if ph.reuse_fraction is None
+                  else ph.reuse_fraction)
+            pattern = spec.pattern if ph.pattern is None else ph.pattern
+            pattern_random = pattern is AccessPattern.RANDOM
+
+            if mean > 0:
+                burst = int(round(
+                    uniform(max(0.0, mean * (1.0 - jitter)),
+                            mean * (1.0 + jitter))
+                ))
+            else:
+                burst = 0
+            cap = (remaining if remaining < prem else prem) - 1
+            if cap < 0:
+                cap = 0
+            if burst > cap:
+                burst = cap
+            remaining -= burst + 1
+            prem -= burst + 1
+
+            is_store = sf > 0.0 and rand() < sf
+            out: list[int] = []
+            for _ in range(n_acc):
+                wide = wf > 0.0 and rand() < wf
+                if rf > 0.0 and rand() < rf:
+                    line = hot_base + randrange(hot_lines)
+                    wide = False
+                elif pattern_random:
+                    line = region_base + randrange(ws_lines)
+                    if wide:
+                        line &= ~1
+                else:  # STREAM / STRIDED
+                    if wide:
+                        cursor = (cursor + 1) & ~1
+                    line = region_base + cursor
+                    cursor += 2 if wide else stride
+                out.append(line * line_bytes)
+                if wide:
+                    out.append((line + 1) * line_bytes)
+            bursts.append(burst)
+            addr_lists.append(out)
+            stores.append(is_store)
+
+        self._cursor = cursor
+        self._gen_remaining = remaining
+        self._gen_phase_idx = pidx
+        self._gen_phase_rem = prem
         self._bursts = bursts
         self._addrs = addr_lists
         self._stores = stores

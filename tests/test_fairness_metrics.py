@@ -1,0 +1,180 @@
+"""Property tests for the multi-metric fairness readout (repro.metrics).
+
+The open-system study (``fig-churn``) reports five fairness metrics side
+by side — max/min unfairness (Eq. 2), Jain's index, p95/p99 tail
+slowdown, and the waiting-time Gini — precisely *because* they can rank
+two schedules differently.  This module pins the mathematical contract of
+each metric (bounds, equality conditions, invariances, monotonicity),
+the degenerate two-app case where several of them must agree, and one
+literal disagreement fixture so the divergence documented in
+docs/model.md stays reproducible.
+"""
+
+import itertools
+
+import pytest
+
+from repro.metrics import gini, jains_index, tail_slowdown, unfairness
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+#: Valid slowdowns: ≥ 1 under contention (Eq. 1), finite for our sims.
+slowdowns = st.lists(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=10,
+)
+
+#: Valid waiting times: non-negative cycles (0 = admitted instantly).
+waits = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1, max_size=10,
+)
+
+
+class TestJainsIndex:
+    @given(slowdowns)
+    def test_bounds(self, s):
+        j = jains_index(s)
+        assert 0.0 < j <= 1.0 + 1e-12
+        # Jain's floor is 1/N (one app takes everything).
+        assert j >= 1.0 / len(s) - 1e-12
+
+    @given(st.floats(1.0, 1e3, allow_nan=False), st.integers(1, 10))
+    def test_equal_slowdowns_are_perfectly_fair(self, s, n):
+        assert jains_index([s] * n) == pytest.approx(1.0)
+
+    @given(slowdowns)
+    def test_one_iff_all_equal(self, s):
+        if jains_index(s) == pytest.approx(1.0, abs=1e-12):
+            assert max(s) == pytest.approx(min(s), rel=1e-6)
+
+    @given(slowdowns)
+    def test_scale_invariant(self, s):
+        scaled = [3.0 * x for x in s]
+        assert jains_index(scaled) == pytest.approx(jains_index(s), rel=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            jains_index([])
+        with pytest.raises(ValueError):
+            jains_index([1.0, 0.0])
+
+
+class TestGini:
+    @given(waits)
+    def test_bounds(self, w):
+        g = gini(w)
+        assert 0.0 - 1e-12 <= g < 1.0
+
+    @given(waits)
+    def test_permutation_invariant(self, w):
+        base = gini(w)
+        for perm in itertools.islice(itertools.permutations(w), 6):
+            assert gini(list(perm)) == pytest.approx(base, abs=1e-9)
+
+    def test_all_zero_is_perfectly_equal(self):
+        assert gini([0.0, 0.0, 0.0]) == 0.0
+
+    @given(st.floats(0.01, 1e6, allow_nan=False), st.integers(1, 10))
+    def test_equal_waits_are_perfectly_equal(self, v, n):
+        assert gini([v] * n) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.integers(2, 50))
+    def test_single_hoarder_approaches_one(self, n):
+        # One app waits, n−1 do not: Gini = (n−1)/n, the max for size n.
+        g = gini([0.0] * (n - 1) + [100.0])
+        assert g == pytest.approx((n - 1) / n, abs=1e-9)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            gini([])
+        with pytest.raises(ValueError):
+            gini([1.0, -0.5])
+
+
+class TestTailSlowdown:
+    @given(slowdowns)
+    def test_within_sample_range(self, s):
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            t = tail_slowdown(s, q)
+            assert min(s) - 1e-9 <= t <= max(s) + 1e-9
+
+    @given(slowdowns)
+    def test_monotone_in_quantile(self, s):
+        p99 = tail_slowdown(s, 0.99)
+        assert tail_slowdown(s, 0.95) <= p99 * (1.0 + 1e-12) + 1e-12
+
+    @given(slowdowns, st.floats(0.0, 10.0, allow_nan=False))
+    def test_monotone_in_the_tail(self, s, bump):
+        """Worsening the worst application never lowers the tail."""
+        worse = sorted(s)
+        worse[-1] += bump
+        for q in (0.95, 0.99):
+            assert tail_slowdown(worse, q) >= tail_slowdown(s, q) - 1e-9
+
+    def test_interpolation_pinned(self):
+        # 5 samples: p95 sits at position 0.95·4 = 3.8 → 0.2·s[3]+0.8·s[4].
+        s = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert tail_slowdown(s, 0.95) == pytest.approx(4.8)
+        assert tail_slowdown(s, 0.99) == pytest.approx(4.96)
+        assert tail_slowdown([7.0], 0.95) == 7.0
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            tail_slowdown([])
+        with pytest.raises(ValueError):
+            tail_slowdown([1.0], q=1.5)
+
+
+class TestTwoAppAgreement:
+    """With two applications the distribution has no interior: every
+    metric reduces to a function of (min, max) and they must agree on
+    *which schedule is fairer* whenever both max/min ratios move the same
+    way at equal tails — the disagreements fig-churn hunts for need ≥3
+    residents or the waiting-time dimension."""
+
+    @given(st.floats(1.0, 100.0, allow_nan=False),
+           st.floats(1.0, 100.0, allow_nan=False))
+    def test_p99_is_max_and_jain_tracks_unfairness(self, a, b):
+        s = [a, b]
+        assert tail_slowdown(s, 1.0) == pytest.approx(max(s))
+        # Jain's index is a strictly decreasing function of the ratio
+        # max/min in the two-app case, so the two rankings coincide.
+        r = unfairness(s)
+        assert jains_index(s) == pytest.approx(
+            (1.0 + r) ** 2 / (2.0 * (1.0 + r * r)), rel=1e-9
+        )
+
+    @given(st.floats(1.0, 50.0, allow_nan=False),
+           st.floats(1.0, 50.0, allow_nan=False),
+           st.floats(1.0, 50.0, allow_nan=False),
+           st.floats(1.0, 50.0, allow_nan=False))
+    def test_rankings_coincide_for_two_apps(self, a, b, c, d):
+        x, y = [a, b], [c, d]
+        ux, uy = unfairness(x), unfairness(y)
+        jx, jy = jains_index(x), jains_index(y)
+        if ux < uy:
+            assert jx >= jy - 1e-12
+        elif ux > uy:
+            assert jx <= jy + 1e-12
+
+
+class TestDisagreementFixture:
+    def test_metrics_can_pick_opposite_winners(self):
+        """Pinned counter-example (docs/model.md): schedule A beats B on
+        the max/min ratio yet loses on Jain's index and the p95 tail — a
+        ratio only sees the extremes, Jain and the tail see the crowd."""
+        a = [1.0, 5.0]                        # ratio 5, but only two apps
+        b = [2.0, 2.0, 2.0, 2.0, 9.0]         # ratio 4.5, heavy 5-app tail
+        assert unfairness(a) > unfairness(b)      # unfairness: B fairer
+        assert jains_index(a) > jains_index(b)    # Jain: A fairer
+        assert tail_slowdown(a, 0.95) < tail_slowdown(b, 0.95)  # tail: A
+
+    def test_waiting_gini_is_independent_of_slowdowns(self):
+        """Equal slowdowns can hide very unequal admission latencies —
+        the whole reason fig-churn reports the waiting-time Gini."""
+        slow = [2.0, 2.0, 2.0]
+        assert unfairness(slow) == 1.0 and jains_index(slow) == 1.0
+        assert gini([0.0, 0.0, 90_000.0]) == pytest.approx(2 / 3)

@@ -23,6 +23,7 @@ import pytest
 
 from repro.harness import run_workload, scaled_config
 from repro.harness.replay_cache import config_fingerprint
+from repro.opensys import trace_schedule
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "golden_pairs.json"
 
@@ -31,6 +32,15 @@ PAIRS = [("SD", "SB"), ("NN", "VA"), ("CS", "SC")]
 #: Four-way mix: two bandwidth hogs + a latency-sensitive app + a cache app.
 QUADS = [("SD", "NN", "CS", "SB")]
 SHARED_CYCLES = 40_000
+
+#: Open-system scenario: the SD+SB base pair plus one mid-run NN arrival
+#: that departs again — exercising admission (idle-reserve grant), the
+#: graceful block-drain, partial-lifetime slowdown accounting, and DASE on
+#: a fragmented interval history.  NN (max_resident 2) is the pool app
+#: whose drain completes within the window at this scale.
+OPEN_BASE = ("SD", "SB")
+OPEN_SCHEDULE = trace_schedule([("NN", 11_000, 23_000)])
+OPEN_CYCLES = 96_000
 
 
 def _config():
@@ -49,12 +59,51 @@ def _measure(pair):
     }
 
 
+def _measure_open():
+    res = run_workload(
+        list(OPEN_BASE), config=_config(), shared_cycles=OPEN_CYCLES,
+        models=("DASE",), arrivals=OPEN_SCHEDULE,
+    )
+    return {
+        "instructions": res.instructions,
+        "alone_cycles": res.alone_cycles,
+        "slowdowns": res.actual_slowdowns,
+        "resident_cycles": res.resident_cycles,
+        "waiting_cycles": res.waiting_cycles,
+        "dase": res.estimates["DASE"],
+        "schedule_digest": OPEN_SCHEDULE.digest(),
+    }
+
+
+def _assert_open_matches(got, expected):
+    # Ints exact; float lists may contain None (no ground truth / no
+    # estimate), so compare element-wise.
+    for k in ("instructions", "alone_cycles", "resident_cycles",
+              "waiting_cycles", "schedule_digest"):
+        assert got[k] == expected[k], k
+    for k in ("slowdowns", "dase"):
+        assert len(got[k]) == len(expected[k])
+        for g, e in zip(got[k], expected[k]):
+            if e is None:
+                assert g is None
+            else:
+                assert g == pytest.approx(e, rel=1e-9)
+
+
 def regenerate() -> None:
     payload = {
         "shared_cycles": SHARED_CYCLES,
         "config_fingerprint": config_fingerprint(_config()),
         "pairs": {"+".join(p): _measure(p) for p in PAIRS},
         "quads": {"+".join(q): _measure(q) for q in QUADS},
+        "open": {
+            "shared_cycles": OPEN_CYCLES,
+            "base": list(OPEN_BASE),
+            "arrivals": [
+                [a.name, a.at, a.leave_at] for a in OPEN_SCHEDULE.arrivals
+            ],
+            **_measure_open(),
+        },
     }
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -98,6 +147,38 @@ def test_golden_pair(golden, pair):
 @pytest.mark.parametrize("quad", QUADS, ids="+".join)
 def test_golden_quad(golden, quad):
     _assert_matches(_measure(quad), golden["quads"]["+".join(quad)])
+
+
+@pytest.mark.slow
+def test_golden_open_system(golden):
+    """The seeded open-system scenario is bit-reproducible: admission and
+    drain cycles, partial residency windows, waiting times, and DASE's
+    partial-history estimates all pin to the committed fixture."""
+    _assert_open_matches(_measure_open(), golden["open"])
+
+
+@pytest.mark.slow
+def test_golden_open_system_pooled(golden):
+    """Same scenario through the process-pool path: the ArrivalSchedule
+    pickles across the worker boundary and replays bit-identically."""
+    from repro.harness.parallel import WorkloadJob, run_jobs
+
+    jobs = [WorkloadJob(
+        apps=OPEN_BASE, config=_config(), shared_cycles=OPEN_CYCLES,
+        models=("DASE",), arrivals=OPEN_SCHEDULE,
+    )] * 2
+    for outcome in run_jobs(jobs, n_jobs=2):
+        res = outcome.unwrap()
+        got = {
+            "instructions": res.instructions,
+            "alone_cycles": res.alone_cycles,
+            "slowdowns": res.actual_slowdowns,
+            "resident_cycles": res.resident_cycles,
+            "waiting_cycles": res.waiting_cycles,
+            "dase": res.estimates["DASE"],
+            "schedule_digest": OPEN_SCHEDULE.digest(),
+        }
+        _assert_open_matches(got, golden["open"])
 
 
 @pytest.mark.slow
