@@ -76,6 +76,27 @@ def _cmd_table3(args) -> int:
     return 0
 
 
+def _resolve_backend(args) -> str | None:
+    """Validate --backend early, with a CLI-grade message.
+
+    Unknown names are caught by argparse ``choices``; this adds the
+    availability check (e.g. ``vectorized`` without NumPy installed) so the
+    failure happens before any sweep work starts.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return None
+    from repro.sim.backends import backend_available
+
+    if not backend_available(backend):
+        raise SystemExit(
+            f"backend {backend!r} is not available in this environment "
+            "(the 'vectorized' backend requires NumPy; 'reference' always "
+            "works)"
+        )
+    return backend
+
+
 def _cmd_fig(args) -> int:
     from repro.harness import experiments as ex
     from repro.harness import report as rp
@@ -123,13 +144,14 @@ def _cmd_fig(args) -> int:
 def _run_fig(args, ex, rp, name: str) -> int:
     # Sweep-shaped experiments fan out across --jobs worker processes and
     # memoise alone replays under --cache-dir (see docs/parallel-harness.md).
-    par = {"jobs": args.jobs, "cache_dir": args.cache_dir}
+    par = {"jobs": args.jobs, "cache_dir": args.cache_dir,
+           "backend": _resolve_backend(args)}
     if name == "fig2":
         print(rp.render_fig2(ex.fig2_unfairness(**par)))
     elif name == "fig3":
-        print(rp.render_fig3(ex.fig3_service_rate()))
+        print(rp.render_fig3(ex.fig3_service_rate()))  # inline, no sweep
     elif name == "fig4":
-        print(rp.render_fig4(ex.fig4_mbb_requests()))
+        print(rp.render_fig4(ex.fig4_mbb_requests()))  # inline, no sweep
     elif name == "fig5":
         res = ex.fig5_two_app_accuracy(limit=args.limit, **par)
         print(rp.render_accuracy(res, "Fig 5 — two-application error"))
@@ -237,7 +259,8 @@ def _cmd_run(args) -> int:
 
         obs = Observation()
     res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
-                       profile_path=args.profile, trace=obs)
+                       profile_path=args.profile, trace=obs,
+                       backend=_resolve_backend(args))
     if args.profile:
         print(f"profile written to {args.profile} "
               f"(inspect: python -m pstats {args.profile})", file=sys.stderr)
@@ -322,7 +345,8 @@ def _cmd_trace(args) -> int:
             scaled_config(), dry_run=args.policy != "dase-fair"
         )
     res = run_workload(args.apps, shared_cycles=args.cycles, models=models,
-                       policy=policy, trace=obs)
+                       policy=policy, trace=obs,
+                       backend=_resolve_backend(args))
 
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -455,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="checkpoint completed jobs under DIR so an "
                              "interrupted sweep resumes instead of "
                              "restarting (see docs/parallel-harness.md)")
+        fp.add_argument("--backend", choices=("reference", "vectorized"),
+                        default=None,
+                        help="simulator core backend (result-equivalent; "
+                             "'vectorized' needs NumPy — see "
+                             "docs/performance.md)")
         if fig == "fig-degradation":
             fp.add_argument("--pair", nargs=2, default=None,
                             metavar=("APP1", "APP2"),
@@ -508,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
                     default="chrome",
                     help="file format for --trace (default: chrome, "
                          "loadable in https://ui.perfetto.dev)")
+    rn.add_argument("--backend", choices=("reference", "vectorized"),
+                    default=None,
+                    help="simulator core backend (result-equivalent; "
+                         "'vectorized' needs NumPy — see "
+                         "docs/performance.md)")
     rn.set_defaults(func=_cmd_run)
 
     tr = sub.add_parser(
@@ -537,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
                     default="none",
                     help="SM-allocation policy for the shared run "
                          "(default: none; dase-fair migrates SMs)")
+    tr.add_argument("--backend", choices=("reference", "vectorized"),
+                    default=None,
+                    help="simulator core backend (result-equivalent; "
+                         "'vectorized' needs NumPy — see "
+                         "docs/performance.md)")
     tr.set_defaults(func=_cmd_trace)
 
     ins = sub.add_parser(

@@ -62,6 +62,7 @@ def fig2_unfairness(
     shared_cycles: int | None = None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> Fig2Result:
     """Fig. 2: unfairness of SD paired with aggressive co-runners, and the
     bandwidth decomposition explaining it."""
@@ -71,7 +72,7 @@ def fig2_unfairness(
     out = Fig2Result(combos=combos, unfairness={}, slowdowns={}, breakdown={})
     outcomes = run_workloads(
         combos, jobs=jobs, config=config, shared_cycles=shared_cycles,
-        models=(), cache_dir=cache_dir,
+        models=(), cache_dir=cache_dir, backend=backend,
     )
     for pair, outcome in zip(combos, outcomes):
         key = "+".join(pair)
@@ -212,6 +213,7 @@ def estimation_accuracy(
     sm_partition=None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> AccuracyResult:
     """Shared driver for Figs. 5, 6 and 7.
 
@@ -228,6 +230,7 @@ def estimation_accuracy(
     outcomes = run_workloads(
         workloads, jobs=jobs, config=config, shared_cycles=shared_cycles,
         models=models, sm_partition=sm_partition, cache_dir=cache_dir,
+        backend=backend,
     )
     for combo, outcome in zip(workloads, outcomes):
         key = "+".join(combo)
@@ -303,6 +306,7 @@ def fig8b_sm_count_sensitivity(
     shared_cycles: int | None = None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> SensitivityResult:
     """Fig. 8b: DASE accuracy when the GPU itself has fewer/more SMs."""
     sm_counts = sm_counts or [8, 16]
@@ -312,7 +316,7 @@ def fig8b_sm_count_sensitivity(
         cfg = scaled_config(n_sms=n)
         acc = estimation_accuracy(
             pairs, config=cfg, models=("DASE",), shared_cycles=shared_cycles,
-            jobs=jobs, cache_dir=cache_dir,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
         )
         label = f"{n}SMs"
         labels.append(label)
@@ -358,6 +362,7 @@ def fig9_dase_fair(
     shared_cycles: int | None = None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> Fig9Result:
     """Fig. 9: run each workload under the even policy and under DASE-Fair.
 
@@ -371,11 +376,11 @@ def fig9_dase_fair(
     out = Fig9Result([], {}, {}, {}, {})
     even_runs = run_workloads(
         pairs, jobs=jobs, config=config, shared_cycles=shared_cycles,
-        models=(), cache_dir=cache_dir,
+        models=(), cache_dir=cache_dir, backend=backend,
     )
     fair_runs = run_workloads(
         pairs, jobs=jobs, config=config, shared_cycles=shared_cycles,
-        models=(), policy="dase_fair", cache_dir=cache_dir,
+        models=(), policy="dase_fair", cache_dir=cache_dir, backend=backend,
     )
     for pair, even_o, fair_o in zip(pairs, even_runs, fair_runs):
         key = "+".join(pair)
@@ -451,6 +456,7 @@ def fig_degradation(
     shared_cycles: int | None = None,
     jobs: int | None = None,
     cache_dir: str | None = None,
+    backend: str | None = None,
 ) -> DegradationResult:
     """Degradation curves: estimate error and unfairness vs counter noise.
 
@@ -477,6 +483,7 @@ def fig_degradation(
                 policy=policy,
                 cache_dir=cache_dir,
                 faults=noise_plan(sigma, seed=seed) if sigma > 0 else None,
+                backend=backend,
             ))
     outcomes = run_jobs(job_list, n_jobs=jobs)
     out = DegradationResult(

@@ -106,7 +106,10 @@ class WorkloadJob:
     (:class:`repro.faults.FaultPlan` — frozen, so it fingerprints and
     pickles like every other field).  ``arrivals`` optionally makes the
     run open-system (:class:`repro.opensys.ArrivalSchedule` — likewise
-    frozen, fingerprintable, and picklable).
+    frozen, fingerprintable, and picklable).  ``backend`` overrides
+    :attr:`GPUConfig.backend` inside the worker; backends are
+    result-equivalent, so it affects worker wall-clock only and is
+    excluded from cache fingerprints.
     """
 
     apps: tuple[KernelSpec | str, ...]
@@ -119,6 +122,7 @@ class WorkloadJob:
     cache_dir: str | None = None
     faults: "FaultPlan | None" = None
     arrivals: "ArrivalSchedule | None" = None
+    backend: str | None = None
 
     @property
     def key(self) -> str:
@@ -193,6 +197,7 @@ def _execute_with_cache(
         alone_cache=cache,
         faults=job.faults,
         arrivals=job.arrivals,
+        backend=job.backend,
     )
     cache_stats = (
         {"hits": cache.hits, "misses": cache.misses, "stores": cache.stores}
@@ -680,6 +685,7 @@ def run_workloads(
     progress=None,
     faults: "FaultPlan | None" = None,
     arrivals: "ArrivalSchedule | None" = None,
+    backend: str | None = None,
     timeout_s: float | None = None,
     retries: int | None = None,
     checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
@@ -709,6 +715,7 @@ def run_workloads(
             cache_dir=cache_dir,
             faults=faults,
             arrivals=arrivals,
+            backend=backend,
         )
         for combo in workloads
     ]

@@ -18,7 +18,7 @@ compared against the ground truth of the execution it observed.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.config import GPUConfig
@@ -211,6 +211,7 @@ def run_workload(
     trace: Observation | EventTracer | None = None,
     faults: "FaultPlan | FaultInjector | None" = None,
     arrivals: "ArrivalSchedule | None" = None,
+    backend: str | None = None,
 ) -> WorkloadResult:
     """Run one workload through the full methodology.
 
@@ -249,6 +250,11 @@ def run_workload(
     normalised over each app's *residency window* rather than the whole
     run, and the result carries ``resident_cycles``/``waiting_cycles``.  A
     null schedule is the closed-system identity (docs/workloads.md).
+
+    ``backend`` overrides :attr:`GPUConfig.backend` for this run (both the
+    shared run and the alone replays).  Backends are result-equivalent
+    (docs/performance.md, "phase 2 — backends"), so this changes wall-clock
+    time only — results and cache keys are identical either way.
     """
     obs: Observation | None
     if trace is None:
@@ -270,6 +276,7 @@ def run_workload(
             return _run_workload(
                 apps, config, shared_cycles, sm_partition, models,
                 policy, warmup_intervals, alone_cache, obs, faults, arrivals,
+                backend,
             )
         finally:
             profiler.disable()
@@ -277,6 +284,7 @@ def run_workload(
     return _run_workload(
         apps, config, shared_cycles, sm_partition, models,
         policy, warmup_intervals, alone_cache, obs, faults, arrivals,
+        backend,
     )
 
 
@@ -292,8 +300,11 @@ def _run_workload(
     obs: Observation | None = None,
     faults: "FaultPlan | FaultInjector | None" = None,
     arrivals: "ArrivalSchedule | None" = None,
+    backend: str | None = None,
 ) -> WorkloadResult:
     config = config or scaled_config()
+    if backend is not None and backend != config.backend:
+        config = replace(config, backend=backend)
     shared_cycles = shared_cycles or default_shared_cycles()
     resolved = [_resolve(a) for a in apps]
     n_base = len(resolved)

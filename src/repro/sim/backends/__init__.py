@@ -1,0 +1,90 @@
+"""Pluggable simulator-core backends (ROADMAP "Raw speed, phase 2").
+
+A *backend* supplies the implementation of the simulator's two dominant
+per-event workloads — warp address-stream generation and the DRAM
+time-integral bookkeeping — behind :attr:`repro.config.GPUConfig.backend`:
+
+``reference``
+    The pure-Python core that every golden fixture was recorded under.
+    It is the correctness oracle and has no third-party dependencies.
+
+``vectorized``
+    A NumPy-accelerated core (:mod:`repro.sim.backends.vectorized`) that
+    pregenerates whole-kernel warp traces by replaying the reference
+    MT19937 draw stream in bulk, and batches the DRAM occupancy-integral
+    updates into a flat event log drained per flush.
+
+The equivalence contract (docs/performance.md, "phase 2 — backends"):
+selecting a backend may change *how* the core computes, never *what* it
+computes.  Address streams, the event schedule, and every integer counter
+are identical across backends; the batched float integrals are sums of the
+same integer-valued terms and therefore also reproduce exactly.  Because of
+that contract ``GPUConfig.backend`` is excluded from config fingerprints —
+caches and goldens transfer across backends.
+
+NumPy stays an *optional* dependency: this package imports without it, the
+reference backend works without it, and requesting ``vectorized`` without
+NumPy raises a clear error at :func:`get_backend` time.
+"""
+
+from __future__ import annotations
+
+from repro.config import KNOWN_BACKENDS
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+]
+
+_CACHE: dict[str, object] = {}
+
+
+def get_backend(name: str):
+    """Resolve a backend name to its (cached) backend object.
+
+    Raises ``ValueError`` for an unknown name and ``RuntimeError`` when the
+    named backend's dependencies are missing (e.g. ``vectorized`` without
+    NumPy installed).
+    """
+    backend = _CACHE.get(name)
+    if backend is not None:
+        return backend
+    if name not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}: expected one of "
+            f"{', '.join(KNOWN_BACKENDS)}"
+        )
+    if name == "reference":
+        from repro.sim.backends.reference import ReferenceBackend
+
+        backend = ReferenceBackend()
+    else:  # "vectorized"
+        from repro.sim.backends import vectorized
+
+        if not vectorized.HAVE_NUMPY:
+            raise RuntimeError(
+                "the 'vectorized' backend requires NumPy, which is not "
+                "installed — install numpy or select backend='reference' "
+                "(the reference backend is fully functional without it)"
+            )
+        backend = vectorized.VectorizedBackend()
+    _CACHE[name] = backend
+    return backend
+
+
+def backend_available(name: str) -> bool:
+    """True when ``name`` is known *and* its dependencies are importable."""
+    if name not in KNOWN_BACKENDS:
+        return False
+    try:
+        get_backend(name)
+    except RuntimeError:
+        return False
+    return True
+
+
+def available_backends() -> list[str]:
+    """Backend names usable in this environment, reference first."""
+    return [name for name in KNOWN_BACKENDS if backend_available(name)]

@@ -1,0 +1,34 @@
+"""The reference backend: the pure-Python simulator core, unchanged.
+
+This is the correctness oracle — every golden fixture in ``tests/golden/``
+was recorded under it, and the bit-identity contract of
+``docs/performance.md`` is stated against it.  The backend object is a thin
+factory over the existing hot-path classes so the selection layer adds zero
+overhead to the simulation itself (streams and stats objects are exactly
+the classes the simulator always used).
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import KernelSpec, WarpStream
+from repro.sim.stats import MemoryStats
+
+
+class ReferenceBackend:
+    name = "reference"
+    requires_numpy = False
+
+    @staticmethod
+    def make_stream(
+        spec: KernelSpec,
+        app_index: int,
+        block_id: int,
+        warp_id: int,
+        seed: int,
+        line_bytes: int,
+    ) -> WarpStream:
+        return WarpStream(spec, app_index, block_id, warp_id, seed, line_bytes)
+
+    @staticmethod
+    def make_memory_stats(n_apps: int) -> MemoryStats:
+        return MemoryStats(n_apps)

@@ -189,15 +189,13 @@ class MemoryPartition:
             req.seq = self._seq
         else:
             req = DramRequest(app, addr, now + l2_latency, callback, self._seq)
-        if stats._last_t < now:
-            stats.advance(now)
-        stats._outstanding[app] += 1  # request_enqueued, inlined
-        bank = addr.bank  # _demand_bank(app, bank, +1), inlined
+        bank = addr.bank  # _demand_bank(app, bank, +1), partition-local part
         d = self._bank_demand[app]
         v = d[bank]
-        if v == 0:
-            stats._demanded[app] += 1
         d[bank] = v + 1
+        # advance + request_enqueued + demanded_changed, one backend-
+        # overridable call (repro.sim.backends).
+        stats.on_enqueue(now, app, v == 0)
         self._schedule(l2_latency, self._arrive_cb, req)
 
     # ----------------------------------------------------------------- DRAM
@@ -415,10 +413,8 @@ class MemoryPartition:
         mem.time_request += completion - now
         mem.data_bus_time += t_burst
 
-        if stats._last_t < now:
-            stats.advance(now)
-        stats._executing[app] += 1  # bank_started, inlined
-        stats._active_banks_total += 1
+        # advance + bank_started, one backend-overridable call.
+        stats.on_bank_start(now, app)
         if self._busy_active > 0:  # _busy_advance, inlined
             self.busy_time += now - self._busy_last
         self._busy_last = now
@@ -442,21 +438,16 @@ class MemoryPartition:
         app = req.app
         bank = req.addr.bank
         stats = self.stats
-        if stats._last_t < completion:
-            stats.advance(completion)
-        stats._executing[app] -= 1  # bank_finished, inlined
-        stats._active_banks_total -= 1
+        d = self._bank_demand[app]  # _demand_bank(app, bank, -1), local part
+        v = d[bank]
+        d[bank] = v - 1
+        # advance + bank_finished + request_completed + demanded_changed +
+        # requests_served, one backend-overridable call.
+        stats.on_complete(completion, app, v == 1)
         if self._busy_active > 0:  # _busy_advance, inlined
             self.busy_time += completion - self._busy_last
         self._busy_last = completion
         self._busy_active -= 1
-        stats._outstanding[app] -= 1  # request_completed, inlined
-        d = self._bank_demand[app]  # _demand_bank(app, bank, -1), inlined
-        v = d[bank]
-        if v == 1:
-            stats._demanded[app] -= 1
-        d[bank] = v - 1
-        stats.apps[app].requests_served += 1
         self.bank_busy[bank] = False
         if self._trace is not None:
             self._trace.instant(

@@ -135,6 +135,38 @@ class KernelSpec:
 _CHUNK = 32
 
 
+def stream_seed(seed: int, app_index: int, block_id: int, warp_id: int) -> str:
+    """RNG seed string for one warp stream.
+
+    Shared with :mod:`repro.sim.backends.vectorized` so every backend draws
+    from the identical MT19937 state.
+    """
+    return f"{seed}/{app_index}/{block_id}/{warp_id}"
+
+
+def stream_bases(
+    spec: KernelSpec, app_index: int, block_id: int, warp_id: int
+) -> tuple[int, int]:
+    """(hot-set base line, granule-aligned streaming-region base line).
+
+    One disjoint streaming region per warp, sized to its worst-case
+    footprint; shared with the vectorized backend so both generate
+    identical address streams.
+    """
+    base = app_index * APP_SPACE_LINES
+    footprint = max(
+        2,
+        spec.insts_per_warp
+        * spec.accesses_per_mem_inst
+        * max(spec.stride_lines, 2),
+    )
+    warp_global = block_id * spec.warps_per_block + warp_id
+    region = base + spec.hot_set_lines + (warp_global * footprint) % (
+        APP_SPACE_LINES - spec.hot_set_lines - footprint
+    )
+    return base, region & ~1
+
+
 class WarpStream:
     """Deterministic per-warp instruction/address generator.
 
@@ -168,23 +200,12 @@ class WarpStream:
         line_bytes: int,
     ) -> None:
         self.spec = spec
-        self._rng = random.Random(f"{seed}/{app_index}/{block_id}/{warp_id}")
+        self._rng = random.Random(stream_seed(seed, app_index, block_id, warp_id))
         self._line_bytes = line_bytes
-        base = app_index * APP_SPACE_LINES
-        self._hot_base = base
-        # Streaming regions start past the hot set, one disjoint region per
-        # warp, sized to the warp's worst-case footprint.
-        footprint = max(
-            2,
-            spec.insts_per_warp
-            * spec.accesses_per_mem_inst
-            * max(spec.stride_lines, 2),
+        # Streaming regions start past the hot set (see stream_bases).
+        self._hot_base, self._region_base = stream_bases(
+            spec, app_index, block_id, warp_id
         )
-        warp_global = block_id * spec.warps_per_block + warp_id
-        region = base + spec.hot_set_lines + (warp_global * footprint) % (
-            APP_SPACE_LINES - spec.hot_set_lines - footprint
-        )
-        self._region_base = region & ~1  # granule-aligned for wide accesses
         self._cursor = 0
         self.remaining_insts = spec.insts_per_warp
         # Pregenerated step trace (parallel arrays) and its read cursor.

@@ -85,6 +85,41 @@ class MemoryStats:
         if self._active_banks_total > 0:
             self.busy_time += dt
 
+    # --- hot-path transitions (advance + mutate, one call per DRAM event) --
+    #
+    # The memory partition funnels its three per-request state changes
+    # through these methods so a backend can swap the integration strategy
+    # (repro.sim.backends.vectorized batches them into a log drained per
+    # flush).  The reference implementations below fold time eagerly, in
+    # exactly the order the previously-inlined call sites used, so the
+    # refactor is bit-identical.
+
+    def on_enqueue(self, now: int, app: int, newly_demanded: bool) -> None:
+        """A request entered the DRAM path (L2 miss) at ``now``."""
+        if self._last_t < now:
+            self.advance(now)
+        self._outstanding[app] += 1
+        if newly_demanded:
+            self._demanded[app] += 1
+
+    def on_bank_start(self, now: int, app: int) -> None:
+        """A bank began servicing one of ``app``'s requests at ``now``."""
+        if self._last_t < now:
+            self.advance(now)
+        self._executing[app] += 1
+        self._active_banks_total += 1
+
+    def on_complete(self, now: int, app: int, undemanded: bool) -> None:
+        """A request finished (data left the bus) at ``now``."""
+        if self._last_t < now:
+            self.advance(now)
+        self._executing[app] -= 1
+        self._active_banks_total -= 1
+        self._outstanding[app] -= 1
+        if undemanded:
+            self._demanded[app] -= 1
+        self.apps[app].requests_served += 1
+
     # --- mutations (caller must advance(now) first) -----------------------
 
     def request_enqueued(self, app: int) -> None:

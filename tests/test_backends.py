@@ -1,0 +1,312 @@
+"""Backend-equivalence gates for the pluggable simulator cores.
+
+The contract (docs/performance.md, "phase 2 — backends"): selecting a
+backend may change *how* the core computes, never *what* it computes.
+These tests hold the vectorized backend to that bar at every layer —
+per-warp address streams (bit-identical consumed traces), the batched
+DRAM stats (identical counters and integrals), whole workloads against
+the committed golden fixtures, the pooled sweep path, and a multi-seed
+sweep.  The registry/validation tests and the reference-backend tests run
+everywhere; everything touching the vectorized core is skipped cleanly
+when NumPy is absent (the no-numpy CI job relies on that).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.config import KNOWN_BACKENDS, GPUConfig
+from repro.harness import run_workload, scaled_config
+from repro.harness.parallel import WorkloadJob, run_jobs
+from repro.sim.backends import (
+    available_backends,
+    backend_available,
+    get_backend,
+)
+from repro.sim.kernel import AccessPattern, KernelSpec, WarpStream
+from repro.sim.stats import MemoryStats
+from repro.workloads import SUITE
+
+numpy = pytest.importorskip  # alias kept short for the gated tests below
+
+
+# ------------------------------------------------------------ config layer
+
+
+def test_known_backends_contents():
+    assert KNOWN_BACKENDS == ("reference", "vectorized")
+
+
+def test_default_backend_is_reference():
+    assert GPUConfig().backend == "reference"
+
+
+def test_unknown_backend_rejected_with_clear_error():
+    with pytest.raises(ValueError, match="backend.*nope"):
+        GPUConfig(backend="nope")
+
+
+def test_known_backend_names_accepted():
+    for name in KNOWN_BACKENDS:
+        assert GPUConfig(backend=name).backend == name
+
+
+def test_run_workload_backend_override_validates():
+    with pytest.raises(ValueError, match="backend"):
+        run_workload(["SB"], shared_cycles=2_000, models=(),
+                     backend="bogus")
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("turbo")
+
+
+def test_reference_backend_always_available():
+    assert backend_available("reference")
+    be = get_backend("reference")
+    assert be.name == "reference" and not be.requires_numpy
+
+
+def test_available_backends_reference_first():
+    avail = available_backends()
+    assert avail[0] == "reference"
+    assert set(avail) <= set(KNOWN_BACKENDS)
+
+
+def test_reference_factory_builds_reference_classes():
+    be = get_backend("reference")
+    stream = be.make_stream(SUITE["SB"], 0, 0, 0, 2016, 128)
+    assert type(stream) is WarpStream
+    assert type(be.make_memory_stats(2)) is MemoryStats
+
+
+# ------------------------------------------------- stream trace equivalence
+
+
+def _consume(stream):
+    """The consumed trace: exactly what the simulator observes."""
+    bursts, addrs, stores = [], [], []
+    while not stream.done:
+        bursts.append(stream.next_compute_burst())
+        if stream.done:
+            break
+        a, s = stream.next_mem_access()
+        addrs.append(list(a))
+        stores.append(s)
+    return bursts, addrs, stores, stream.remaining_insts
+
+
+#: Synthetic specs covering every generator path and clamp edge:
+#: fixed-layout with wide/odd-stride parity, word-replay with rejection
+#: sampling (RANDOM + hot set), stores, uncoalesced accesses, and a
+#: budget that the final burst clamp must truncate exactly.
+_EDGE_SPECS = [
+    KernelSpec("wide-odd-stride", compute_per_mem=2,
+               pattern=AccessPattern.STRIDED, stride_lines=3,
+               wide_fraction=0.5, insts_per_warp=97),
+    KernelSpec("stores-uncoalesced", compute_per_mem=1,
+               store_fraction=0.4, accesses_per_mem_inst=3,
+               insts_per_warp=150),
+    KernelSpec("random-hot", compute_per_mem=3,
+               pattern=AccessPattern.RANDOM, reuse_fraction=0.5,
+               hot_set_lines=5, working_set_lines=1000,
+               insts_per_warp=200),
+    KernelSpec("clamp-edge", compute_per_mem=9, insts_per_warp=21),
+    KernelSpec("pure-mem", compute_per_mem=0, insts_per_warp=64),
+]
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_vectorized_stream_bit_identical_suite(name):
+    numpy("numpy")
+    from repro.sim.backends.vectorized import VectorizedWarpStream
+
+    spec = SUITE[name]
+    for block, warp in ((0, 0), (3, 5)):
+        ref = _consume(WarpStream(spec, 0, block, warp, 2016, 128))
+        vec = _consume(VectorizedWarpStream(spec, 0, block, warp, 2016, 128))
+        assert ref == vec
+
+
+@pytest.mark.parametrize("spec", _EDGE_SPECS, ids=lambda s: s.name)
+def test_vectorized_stream_bit_identical_edges(spec):
+    numpy("numpy")
+    from repro.sim.backends.vectorized import VectorizedWarpStream
+
+    for warp in range(4):
+        ref = _consume(WarpStream(spec, 1, 2, warp, 7, 128))
+        vec = _consume(VectorizedWarpStream(spec, 1, 2, warp, 7, 128))
+        assert ref == vec
+
+
+@pytest.mark.parametrize("name", ["SB", "SD", "NN", "CS"])
+def test_vectorized_stream_bit_identical_paper_scale(name):
+    numpy("numpy")
+    from repro.sim.backends.vectorized import VectorizedWarpStream
+
+    spec = dataclasses.replace(SUITE[name], insts_per_warp=4_000)
+    ref = _consume(WarpStream(spec, 0, 0, 1, 2016, 128))
+    vec = _consume(VectorizedWarpStream(spec, 0, 0, 1, 2016, 128))
+    assert ref == vec
+
+
+def test_vectorized_factory_is_per_spec_policy():
+    """The backend picks the faster implementation per spec — streams are
+    bit-identical either way, so the choice is pure policy and both
+    branches must satisfy the stream-equality gates above."""
+    numpy("numpy")
+    from repro.sim.backends.vectorized import VectorizedWarpStream
+
+    be = get_backend("vectorized")
+    # Paper-scale fixed-layout spec: vectorized pregeneration wins.
+    big = dataclasses.replace(SUITE["SB"], insts_per_warp=4_000)
+    assert type(be.make_stream(big, 0, 0, 0, 1, 128)) is VectorizedWarpStream
+    # Tiny budget: per-warp NumPy fixed costs never amortize.
+    tiny = dataclasses.replace(SUITE["SB"], insts_per_warp=40)
+    assert type(be.make_stream(tiny, 0, 0, 0, 1, 128)) is WarpStream
+    # Word-replay shapes (RANDOM / hot-set) measure at or below reference
+    # speed, so the factory routes them to the reference generator.
+    rnd = dataclasses.replace(SUITE["NN"], insts_per_warp=4_000)
+    assert type(be.make_stream(rnd, 0, 0, 0, 1, 128)) is WarpStream
+
+
+# -------------------------------------------------------- batched DRAM stats
+
+
+def test_batched_stats_match_eager_on_random_schedule():
+    numpy("numpy")
+    from repro.sim.backends.vectorized import BatchedMemoryStats
+
+    rng = random.Random(99)
+    n_apps = 3
+    eager, batched = MemoryStats(n_apps), BatchedMemoryStats(n_apps)
+    outstanding = [0] * n_apps
+    executing = [0] * n_apps
+    now = 0
+    for _ in range(600):
+        now += rng.randrange(0, 4)  # repeated cycles + gaps
+        app = rng.randrange(n_apps)
+        op = rng.random()
+        if op < 0.45 or not outstanding[app]:
+            demanded = rng.random() < 0.5
+            for s in (eager, batched):
+                s.on_enqueue(now, app, demanded)
+            outstanding[app] += 1
+        elif op < 0.75:
+            for s in (eager, batched):
+                s.on_bank_start(now, app)
+            executing[app] += 1
+        elif executing[app]:
+            freed = rng.random() < 0.5
+            for s in (eager, batched):
+                s.on_complete(now, app, freed)
+            executing[app] -= 1
+            outstanding[app] -= 1
+    now += 5
+    eager.advance(now)
+    batched.advance(now)
+    assert batched.busy_time == eager.busy_time
+    for a in range(n_apps):
+        e, b = eager.apps[a], batched.apps[a]
+        assert b.requests_served == e.requests_served
+        assert b.outstanding_time == e.outstanding_time
+        assert b.executing_bank_integral == e.executing_bank_integral
+        assert b.demanded_bank_integral == e.demanded_bank_integral
+
+
+def test_batched_stats_outstanding_mid_run():
+    numpy("numpy")
+    from repro.sim.backends.vectorized import BatchedMemoryStats
+
+    s = BatchedMemoryStats(2)
+    s.on_enqueue(10, 0, True)
+    s.on_enqueue(12, 0, False)
+    s.on_enqueue(12, 1, True)
+    assert s.outstanding(0) == 2
+    assert s.outstanding(1) == 1
+    s.on_bank_start(13, 0)
+    s.on_complete(15, 0, True)
+    assert s.outstanding(0) == 1
+
+
+# ------------------------------------------------- whole-workload equality
+
+
+GOLDEN_PAIR = ("SD", "SB")
+GOLDEN_QUAD = ("SD", "NN", "CS", "SB")
+GOLDEN_CYCLES = 40_000  # matches tests/test_golden.py fixtures
+
+
+def _result_key(res):
+    return (res.instructions, res.alone_cycles, res.actual_slowdowns,
+            res.estimates, res.bandwidth, res.final_sm_partition)
+
+
+@pytest.mark.parametrize("apps", [GOLDEN_PAIR, GOLDEN_QUAD],
+                         ids=lambda a: "+".join(a))
+def test_vectorized_equals_reference_inline(apps):
+    numpy("numpy")
+    ref = run_workload(list(apps), config=scaled_config(),
+                       shared_cycles=GOLDEN_CYCLES, models=("DASE",))
+    vec = run_workload(list(apps), config=scaled_config(),
+                       shared_cycles=GOLDEN_CYCLES, models=("DASE",),
+                       backend="vectorized")
+    assert _result_key(ref) == _result_key(vec)
+
+
+def test_vectorized_matches_golden_fixture():
+    """The committed golden values were recorded under the reference
+    backend; the vectorized backend must land on them exactly."""
+    numpy("numpy")
+    import json
+    import pathlib
+
+    fixture = json.loads(
+        (pathlib.Path(__file__).parent / "golden" / "golden_pairs.json")
+        .read_text()
+    )
+    expected = fixture["pairs"]["+".join(GOLDEN_PAIR)]
+    res = run_workload(list(GOLDEN_PAIR), config=scaled_config(),
+                       shared_cycles=GOLDEN_CYCLES, models=(),
+                       backend="vectorized")
+    assert res.instructions == expected["instructions"]
+    assert res.alone_cycles == expected["alone_cycles"]
+    assert res.actual_slowdowns == expected["slowdowns"]
+
+
+def test_workload_job_roundtrips_backend_through_pool():
+    numpy("numpy")
+    job = WorkloadJob(apps=GOLDEN_PAIR, shared_cycles=12_000,
+                      models=("DASE",), backend="vectorized")
+    assert job.backend == "vectorized"
+    pooled = run_jobs([job], n_jobs=2)[0].unwrap()
+    inline = run_workload(list(GOLDEN_PAIR), shared_cycles=12_000,
+                          models=("DASE",))
+    assert _result_key(pooled) == _result_key(inline)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_backend_equivalence_across_seeds(seed):
+    numpy("numpy")
+    cfg = scaled_config(seed=seed)
+    ref = run_workload(["NN", "VA"], config=cfg, shared_cycles=16_000,
+                       models=("DASE",))
+    vec = run_workload(["NN", "VA"], config=cfg, shared_cycles=16_000,
+                       models=("DASE",), backend="vectorized")
+    assert _result_key(ref) == _result_key(vec)
+
+
+# ------------------------------------------------------------- fingerprint
+
+
+def test_backend_excluded_from_config_fingerprint():
+    from repro.harness.replay_cache import config_fingerprint
+
+    ref = config_fingerprint(GPUConfig(backend="reference"))
+    vec = config_fingerprint(GPUConfig(backend="vectorized"))
+    assert ref == vec

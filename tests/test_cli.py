@@ -216,3 +216,33 @@ def test_run_workload_end_to_end(capsys):
     assert "unfairness" in out
     assert "QR" in out and "CT" in out
     assert "DASE mean error" in out
+
+
+def test_backend_flag_on_run_fig_and_trace_parsers():
+    p = build_parser()
+    assert p.parse_args(["run", "SD", "SB"]).backend is None
+    for argv in (
+        ["run", "SD", "SB", "--backend", "vectorized"],
+        ["fig5", "--backend", "vectorized"],
+        ["fig2", "--backend", "vectorized"],
+        ["trace", "SD", "SB", "--out", "t.jsonl", "--backend", "vectorized"],
+    ):
+        assert p.parse_args(argv).backend == "vectorized"
+    assert p.parse_args(["run", "SD", "--backend", "reference"]).backend == \
+        "reference"
+
+
+def test_backend_flag_rejects_unknown_name(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "SD", "--backend", "turbo"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_run_backend_end_to_end_matches_reference(capsys):
+    pytest.importorskip("numpy")
+    assert main(["run", "SD", "SB", "--cycles", "30000"]) == 0
+    ref_out = capsys.readouterr().out
+    assert main(
+        ["run", "SD", "SB", "--cycles", "30000", "--backend", "vectorized"]
+    ) == 0
+    assert capsys.readouterr().out == ref_out
