@@ -103,9 +103,22 @@ def _cmd_fig(args) -> int:
     from repro.harness.parallel import set_default_progress, set_sweep_defaults
 
     name = args.experiment
+    # --sweep-trace enables the cross-worker telemetry bus for every sweep
+    # the driver runs; artifacts (trace.json, sweep.json, report.html, and
+    # under --profile-sweep the merged pstats) land in the named directory.
+    sweep_trace = getattr(args, "sweep_trace", None)
+    profile_sweep = bool(getattr(args, "profile_sweep", False))
+    if profile_sweep and not sweep_trace:
+        raise SystemExit("--profile-sweep requires --sweep-trace DIR")
+    bus_dir = None
+    if sweep_trace:
+        import pathlib
+
+        bus_dir = str(pathlib.Path(sweep_trace) / "bus")
     # --progress / --sweep-log attach a live reporter (and a JSONL log) to
     # every sweep the experiment driver runs, via the ambient factory — the
-    # drivers themselves need no progress plumbing.
+    # drivers themselves need no progress plumbing.  With a bus enabled the
+    # reporter also tails the worker channels for straggler warnings.
     logger = None
     if getattr(args, "progress", False) or getattr(args, "sweep_log", None):
         from repro.obs import JsonlLogger, SweepProgress
@@ -113,11 +126,11 @@ def _cmd_fig(args) -> int:
         if args.sweep_log:
             logger = JsonlLogger(args.sweep_log)
             set_default_progress(
-                lambda total: logger.reporter(total, label=name)
+                lambda total: logger.reporter(total, label=name, bus=bus_dir)
             )
         else:
             set_default_progress(
-                lambda total: SweepProgress(total, label=name)
+                lambda total: SweepProgress(total, label=name, bus=bus_dir)
             )
     retries = getattr(args, "retries", None) or 0
     if retries < 0:
@@ -125,18 +138,28 @@ def _cmd_fig(args) -> int:
     timeout_s = getattr(args, "timeout", None)
     if timeout_s is not None and timeout_s <= 0:
         raise SystemExit(f"--timeout must be > 0, got {timeout_s}")
-    # --timeout / --retries / --resume-dir harden every sweep the driver
-    # runs, via the ambient sweep defaults (same pattern as progress).
+    # --timeout / --retries / --resume-dir / --sweep-trace harden and
+    # observe every sweep the driver runs, via the ambient sweep defaults
+    # (same pattern as progress).
     set_sweep_defaults(
         timeout_s=timeout_s,
         retries=retries,
         checkpoint_dir=getattr(args, "resume_dir", None),
+        bus_dir=bus_dir,
+        profile=profile_sweep,
     )
     try:
-        return _run_fig(args, ex, rp, name)
+        rc = _run_fig(args, ex, rp, name)
+        if sweep_trace:
+            _write_sweep_artifacts(sweep_trace, bus_dir, profile_sweep)
+        return rc
     finally:
         set_default_progress(None)
-        set_sweep_defaults(timeout_s=None, retries=0, checkpoint_dir=None)
+        set_sweep_defaults(timeout_s=None, retries=0, checkpoint_dir=None,
+                           bus_dir=None, profile=False)
+        from repro.obs import bus as obs_bus
+
+        obs_bus.deactivate()
         if logger is not None:
             logger.close()
 
@@ -242,6 +265,52 @@ def _write_churn_artifacts(out_dir: str, res) -> None:
     export_churn_report(out / "report.html", res)
     print(f"\nchurn artifacts written to {out}/ "
           "(churn.json, report.html)", file=sys.stderr)
+
+
+def _write_sweep_artifacts(out_dir: str, bus_dir: str,
+                           profile_sweep: bool) -> None:
+    """Aggregate the worker bus channels under ``bus_dir`` into the sweep
+    artifacts: Chrome trace, SweepStats JSON, HTML report, and (under
+    --profile-sweep) the merged cProfile dump + hot-function table."""
+    import json
+    import pathlib
+
+    from repro.obs import bus as obs_bus
+    from repro.obs.export import export_sweep_trace
+    from repro.obs.inspect import summarize_sweep
+    from repro.obs.report import export_sweep_report
+
+    records = obs_bus.read_bus(bus_dir)
+    if not records:
+        print(f"\nno bus records under {bus_dir}; sweep trace skipped "
+              "(did the experiment run any sweeps?)", file=sys.stderr)
+        return
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    payload = export_sweep_trace(records, out / "trace.json")
+    stats = obs_bus.SweepStats.from_records(records)
+    with (out / "sweep.json").open("w") as fh:
+        json.dump(stats.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    profile_rows = None
+    wrote = ["trace.json", "sweep.json", "report.html"]
+    if profile_sweep:
+        merged = obs_bus.merge_profiles(bus_dir)
+        if merged is not None:
+            merged.dump_stats(str(out / "profile.pstats"))
+            profile_rows = obs_bus.profile_table(merged, limit=20)
+            wrote.append("profile.pstats")
+    export_sweep_report(out / "report.html", stats.to_dict(),
+                        trace_payload=payload, profile_rows=profile_rows)
+    print("\n" + summarize_sweep(stats.to_dict()))
+    if profile_rows:
+        from repro.harness.report import table
+
+        print("\nsweep-wide hot functions (merged cProfile):")
+        print(table(["ncalls", "tottime", "cumtime", "function"],
+                    profile_rows))
+    print(f"\nsweep observability artifacts written to {out}/ "
+          f"({', '.join(wrote)})", file=sys.stderr)
 
 
 def _cmd_run(args) -> int:
@@ -390,12 +459,13 @@ def _cmd_inspect(args) -> int:
     from repro.obs import inspect_path
     from repro.obs.inspect import inspect_json
 
+    prefer = "sweep" if getattr(args, "sweep", False) else None
     try:
         if args.json:
-            print(json.dumps(inspect_json(args.path), indent=1,
-                             sort_keys=True))
+            print(json.dumps(inspect_json(args.path, prefer=prefer),
+                             indent=1, sort_keys=True))
         else:
-            print(inspect_path(args.path))
+            print(inspect_path(args.path, prefer=prefer))
     except (ValueError, OSError) as exc:
         raise SystemExit(f"repro inspect: {exc}")
     return 0
@@ -484,6 +554,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulator core backend (result-equivalent; "
                              "'vectorized' needs NumPy — see "
                              "docs/performance.md)")
+        fp.add_argument("--sweep-trace", default=None, metavar="DIR",
+                        help="record a cross-worker telemetry bus for every "
+                             "sweep and write trace.json (Perfetto), "
+                             "sweep.json (SweepStats), and report.html "
+                             "under DIR (see docs/observability.md)")
+        fp.add_argument("--profile-sweep", action="store_true",
+                        help="cProfile every sweep job and merge the dumps "
+                             "into DIR/profile.pstats plus a hot-function "
+                             "table (requires --sweep-trace)")
         if fig == "fig-degradation":
             fp.add_argument("--pair", nargs=2, default=None,
                             metavar=("APP1", "APP2"),
@@ -579,17 +658,22 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=_cmd_trace)
 
     ins = sub.add_parser(
-        "inspect", help="summarize a recorded run dir, run.json, or "
-                        "Chrome trace JSON"
+        "inspect", help="summarize a recorded run dir, run.json, "
+                        "sweep.json, or Chrome trace JSON"
     )
-    ins.add_argument("path", help="run directory, run.json, or trace.json")
+    ins.add_argument("path", help="run directory, run.json, sweep.json, "
+                                  "or trace.json")
     ins.add_argument("--json", action="store_true",
                      help="emit the machine-readable inspection payload")
+    ins.add_argument("--sweep", action="store_true",
+                     help="when PATH is a directory holding both run.json "
+                          "and sweep.json, prefer the sweep stats")
     ins.set_defaults(func=_cmd_inspect)
 
     df = sub.add_parser(
         "diff", help="field-by-field comparison of two recorded runs "
-                     "(run dirs / run.json manifests / sweep JSONL logs); "
+                     "(run dirs / run.json manifests / sweep JSONL logs / "
+                     "sweep.json stats — latency + cache-hit drift); "
                      "exit 0 = identical, 1 = drift"
     )
     df.add_argument("a", help="run dir, run.json, .jsonl sweep log, or JSON")

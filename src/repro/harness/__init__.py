@@ -30,8 +30,9 @@ from repro.harness.persist import (
     save_result,
 )
 from repro.harness.replay_cache import AloneReplayCache, resolve_cache
-# Telemetry lives in repro.obs now; re-exported here for compatibility
-# (repro.harness.telemetry is a deprecated shim that warns on import).
+# Telemetry lives in repro.obs now; re-exported here for compatibility.
+# (The deprecated repro.harness.telemetry shim has been removed after a
+# full release of DeprecationWarning.)
 from repro.obs.telemetry import Sample, Telemetry
 
 __all__ = [

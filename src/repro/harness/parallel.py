@@ -69,6 +69,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.config import GPUConfig
 from repro.harness.replay_cache import AloneReplayCache, resolve_cache
+from repro.obs import bus as obs_bus
 from repro.harness.runner import WorkloadResult, run_workload, scaled_config
 from repro.sim.kernel import KernelSpec
 
@@ -259,7 +260,90 @@ def _worker_stderr_init(scratch: str) -> None:
         pass
 
 
-def _tracked(index: int, job, scratch: str, attempt: int) -> JobOutcome:
+def _job_backend(job) -> str | None:
+    """The backend a job will effectively simulate under (bus labelling)."""
+    backend = getattr(job, "backend", None)
+    if backend:
+        return backend
+    config = getattr(job, "config", None)
+    if config is not None and getattr(config, "backend", None):
+        return config.backend
+    return "reference" if isinstance(job, WorkloadJob) else None
+
+
+def _observed_run(
+    index: int,
+    job,
+    attempt: int,
+    ch: "obs_bus.WorkerChannel | None",
+    sweep: str | None,
+    profile: bool,
+    bus_dir: str | None,
+    submit_ts: float | None = None,
+    serialize: bool = False,
+) -> JobOutcome:
+    """Run one guarded attempt, bracketed by bus records when enabled.
+
+    Shared by the inline path and the pooled worker entry so both emit
+    the same job_start/span/job_end stream (the inline==pooled SweepStats
+    determinism contract).  ``serialize`` additionally times a result
+    pickle round — the transport cost a pooled job pays and an inline one
+    does not, so it is only recorded in workers.
+    """
+    if ch is None:
+        outcome = _guarded((index, job))
+        outcome.attempts = attempt
+        return outcome
+    ch.job_start(
+        sweep or "?", index, getattr(job, "key", repr(job)),
+        attempt=attempt, submit_ts=submit_ts,
+    )
+    prof = None
+    if profile and bus_dir:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+    try:
+        outcome = _guarded((index, job))
+    finally:
+        if prof is not None:
+            prof.disable()
+            try:
+                prof.dump_stats(
+                    str(obs_bus.profile_path(bus_dir, index, attempt))
+                )
+            except OSError:  # pragma: no cover - bus dir vanished
+                pass
+    outcome.attempts = attempt
+    if serialize:
+        import pickle
+
+        t0 = time.perf_counter()
+        try:
+            n_bytes = len(pickle.dumps(outcome))
+        except Exception:  # noqa: BLE001 - poison results still get a span
+            n_bytes = -1
+        ch.span("serialize", time.perf_counter() - t0, n_bytes=n_bytes)
+    ch.job_end(
+        ok=outcome.ok,
+        cache=outcome.cache,
+        backend=_job_backend(job),
+        failure_kind=outcome.failure_kind,
+    )
+    return outcome
+
+
+def _tracked(
+    index: int,
+    job,
+    scratch: str,
+    attempt: int,
+    sweep: str | None = None,
+    submit_ts: float | None = None,
+    bus_dir: str | None = None,
+    profile: bool = False,
+) -> JobOutcome:
     """Worker entry point: breadcrumbs around the guarded execution."""
     started = {
         "pid": os.getpid(),
@@ -272,8 +356,11 @@ def _tracked(index: int, job, scratch: str, attempt: int) -> JobOutcome:
         (base / f"job-{index}.started").write_text(json.dumps(started))
     except OSError:  # pragma: no cover - scratch vanished mid-sweep
         pass
-    outcome = _guarded((index, job))
-    outcome.attempts = attempt
+    ch = obs_bus.activate(bus_dir) if bus_dir else None
+    outcome = _observed_run(
+        index, job, attempt, ch, sweep, profile, bus_dir,
+        submit_ts=submit_ts, serialize=ch is not None,
+    )
     try:
         (base / f"job-{index}.done").write_text("1")
     except OSError:  # pragma: no cover
@@ -336,13 +423,25 @@ _SWEEP_DEFAULTS: dict = {
     "retries": 0,
     "backoff_s": 0.5,
     "checkpoint_dir": None,
+    "bus_dir": None,
+    "profile": False,
 }
+
+#: Monotone per-process counter distinguishing sweeps that share one bus
+#: directory (a figure driver may run several run_jobs calls).
+_SWEEP_SEQ = 0
 
 
 def set_sweep_defaults(
-    timeout_s=_UNSET, retries=_UNSET, backoff_s=_UNSET, checkpoint_dir=_UNSET
+    timeout_s=_UNSET, retries=_UNSET, backoff_s=_UNSET, checkpoint_dir=_UNSET,
+    bus_dir=_UNSET, profile=_UNSET,
 ) -> None:
-    """Set ambient defaults for sweep resilience (only the passed ones)."""
+    """Set ambient defaults for sweep resilience (only the passed ones).
+
+    ``bus_dir`` enables the cross-worker telemetry bus
+    (:mod:`repro.obs.bus`) for every subsequent sweep; ``profile``
+    additionally cProfiles each job into the bus directory.
+    """
     if timeout_s is not _UNSET:
         _SWEEP_DEFAULTS["timeout_s"] = timeout_s
     if retries is not _UNSET:
@@ -353,6 +452,10 @@ def set_sweep_defaults(
         _SWEEP_DEFAULTS["backoff_s"] = backoff_s
     if checkpoint_dir is not _UNSET:
         _SWEEP_DEFAULTS["checkpoint_dir"] = checkpoint_dir
+    if bus_dir is not _UNSET:
+        _SWEEP_DEFAULTS["bus_dir"] = bus_dir
+    if profile is not _UNSET:
+        _SWEEP_DEFAULTS["profile"] = bool(profile)
 
 
 def sweep_defaults() -> dict:
@@ -394,6 +497,8 @@ def run_jobs(
     retries: int | None = None,
     backoff_s: float | None = None,
     checkpoint: "SweepCheckpoint | str | os.PathLike | None" = None,
+    bus: "str | os.PathLike | None" = None,
+    profile: bool | None = None,
 ) -> list[JobOutcome]:
     """Execute ``jobs``, fanning out across ``n_jobs`` worker processes.
 
@@ -418,7 +523,16 @@ def run_jobs(
     :func:`set_default_progress`) receives each :class:`JobOutcome` as it
     *finishes* — completion order, not submission order — via
     ``job_done``, then ``close()`` when the sweep ends.
+
+    ``bus`` names a :mod:`repro.obs.bus` directory: every worker (and the
+    inline path) streams job_start/span/job_end records into its own
+    JSONL channel there, and the parent adds sweep + settled-outcome
+    records, so crashed jobs still leave an attributable trail.
+    ``profile`` (requires ``bus``) cProfiles each job attempt into the
+    same directory for a sweep-wide merged hot-function table.  Both fall
+    back to the ambient defaults when None.
     """
+    global _SWEEP_SEQ
     indexed = list(enumerate(jobs))
     if not indexed:
         return []
@@ -430,6 +544,12 @@ def run_jobs(
         backoff_s = _SWEEP_DEFAULTS["backoff_s"]
     if checkpoint is None:
         checkpoint = _SWEEP_DEFAULTS["checkpoint_dir"]
+    if bus is None:
+        bus = _SWEEP_DEFAULTS["bus_dir"]
+    if profile is None:
+        profile = _SWEEP_DEFAULTS["profile"]
+    profile = bool(profile)
+    bus_dir = os.fspath(bus) if bus is not None else None
     from repro.harness.checkpoint import resolve_checkpoint
 
     cp = resolve_checkpoint(checkpoint, jobs)
@@ -438,10 +558,37 @@ def run_jobs(
     if prog is None and _PROGRESS_FACTORY is not None:
         prog = _PROGRESS_FACTORY(len(indexed))
 
+    ch = None
+    sweep_id = None
+    prev_ch = None
+    if bus_dir is not None:
+        _SWEEP_SEQ += 1
+        sweep_id = f"{os.getpid()}-{_SWEEP_SEQ}"
+        prev_ch = obs_bus.current()
+        ch = obs_bus.activate(bus_dir)
+        ch.record(
+            {"t": "sweep", "sweep": sweep_id, "n_jobs": len(indexed),
+             "ts": time.time()},
+            flush=True,
+        )
+
     outcomes: dict[int, JobOutcome] = {}
 
     def settle(outcome: JobOutcome) -> None:
         outcomes[outcome.index] = outcome
+        if ch is not None:
+            # The parent's settled verdict: the only record a job whose
+            # worker died hard gets beyond its job_start, and the source
+            # of failure attribution in the sweep trace.
+            ch.record(
+                {"t": "outcome", "sweep": sweep_id, "job": outcome.index,
+                 "key": getattr(outcome.job, "key", repr(outcome.job)),
+                 "ok": outcome.ok, "failure_kind": outcome.failure_kind,
+                 "duration_s": outcome.duration_s,
+                 "attempts": outcome.attempts,
+                 "resumed": outcome.resumed, "ts": time.time()},
+                flush=True,
+            )
         if cp is not None and outcome.ok and not outcome.resumed:
             cp.record(outcome)
         if prog is not None:
@@ -456,15 +603,25 @@ def run_jobs(
         todo = [(i, job) for i, job in indexed if i not in outcomes]
         workers = min(n_jobs or 1, len(indexed))
         if workers <= 1:
-            _run_inline(todo, retries, backoff_s, settle)
+            _run_inline(
+                todo, retries, backoff_s, settle,
+                ch=ch, sweep=sweep_id, profile=profile, bus_dir=bus_dir,
+            )
         elif todo:
             _run_pool(
                 todo, workers, timeout_s, retries, backoff_s, settle,
+                sweep=sweep_id, bus_dir=bus_dir, profile=profile,
             )
         return [outcomes[i] for i in range(len(indexed))]
     finally:
         if prog is not None:
             prog.close()
+        if ch is not None and prev_ch is not ch:
+            # We opened this channel for the sweep; hand the previous one
+            # (if any) back so nested/sequential sweeps compose.
+            obs_bus.deactivate()
+            if prev_ch is not None:
+                obs_bus.activate(prev_ch.directory)
 
 
 def _run_inline(
@@ -472,18 +629,25 @@ def _run_inline(
     retries: int,
     backoff_s: float,
     settle: Callable[[JobOutcome], None],
+    ch: "obs_bus.WorkerChannel | None" = None,
+    sweep: str | None = None,
+    profile: bool = False,
+    bus_dir: str | None = None,
 ) -> None:
     """The no-pool path: sequential, with the same retry accounting.
 
     Timeouts are not enforced inline — there is no worker to kill without
-    taking the caller down with it.
+    taking the caller down with it.  With a bus enabled the parent's own
+    channel doubles as the worker channel (no dequeue/serialize spans —
+    there is no transport).
     """
     for index, job in todo:
         attempt = 0
         while True:
             attempt += 1
-            outcome = _guarded((index, job))
-            outcome.attempts = attempt
+            outcome = _observed_run(
+                index, job, attempt, ch, sweep, profile, bus_dir,
+            )
             if outcome.ok or attempt > retries:
                 break
             _backoff_sleep(backoff_s, attempt - 1)
@@ -497,6 +661,9 @@ def _run_pool(
     retries: int,
     backoff_s: float,
     settle: Callable[[JobOutcome], None],
+    sweep: str | None = None,
+    bus_dir: str | None = None,
+    profile: bool = False,
 ) -> None:
     """Generation-based resilient pool execution (module docstring)."""
     scratch = pathlib.Path(tempfile.mkdtemp(prefix="repro-sweep-"))
@@ -532,7 +699,10 @@ def _run_pool(
                 for i in batch:
                     p = pending[i]
                     fut = pool.submit(
-                        _tracked, i, p.job, str(scratch), p.attempts + 1
+                        _tracked, i, p.job, str(scratch), p.attempts + 1,
+                        sweep=sweep,
+                        submit_ts=time.time() if bus_dir else None,
+                        bus_dir=bus_dir, profile=profile,
                     )
                     fut_index[fut] = i
             except BrokenProcessPool:

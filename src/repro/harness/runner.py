@@ -18,6 +18,7 @@ compared against the ground truth of the execution it observed.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Sequence
 
@@ -31,6 +32,7 @@ from repro.metrics import (
     tail_slowdown,
     unfairness,
 )
+from repro.obs import bus as obs_bus
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import EventTracer, Observation
 from repro.sim.gpu import GPU, LaunchedKernel
@@ -404,7 +406,20 @@ def _run_workload(
         )
         driver.attach(gpu)
 
-    gpu.run(shared_cycles)
+    # One `is None` check per *run* — the simulator's cycle loop is never
+    # touched, so the disabled-bus path stays inside the <3% obs budget.
+    bus_ch = obs_bus.current()
+    if bus_ch is not None:
+        t0 = time.perf_counter()
+        gpu.run(shared_cycles)
+        bus_ch.span(
+            "simulate", time.perf_counter() - t0,
+            cycles=shared_cycles,
+            backend=config.backend,
+            engine_mode="sparse" if gpu.engine._sparse else "bucket",
+        )
+    else:
+        gpu.run(shared_cycles)
     if obs is not None:
         obs.finalize_run(gpu)
         telemetry.detach()
@@ -425,9 +440,15 @@ def _run_workload(
     for i, spec in enumerate(specs):
         if driver is not None and instructions[i] == 0:
             # Never admitted (or drained before issuing anything): there is
-            # nothing to replay and no ground-truth slowdown.
+            # nothing to replay and no ground-truth slowdown (and no span —
+            # no work happened).
             alone_cycles.append(0)
             continue
+        if bus_ch is not None:
+            replay_t0 = time.perf_counter()
+        # One replay span per app covers the cache probe *and* (on a miss)
+        # the alone simulation, so cached vs uncached durations expose the
+        # replay cache's economics in SweepStats.
         cached = (
             alone_cache.get(spec, i, config, instructions[i])
             if alone_cache is not None
@@ -435,19 +456,29 @@ def _run_workload(
         )
         if cached is not None:
             alone_cycles.append(cached)
-            continue
-        # obs=False: the alone replay never records, even under a
-        # process-wide recording — the trace describes the shared run only.
-        alone = GPU(
-            config, [LaunchedKernel(spec, restart=True, stream_id=i)],
-            obs=False,
-        )
-        alone.run_until_instructions(
-            0, instructions[i], max_cycles=max(4 * shared_cycles, 1_000_000)
-        )
-        alone_cycles.append(alone.engine.now)
-        if alone_cache is not None:
-            alone_cache.put(spec, i, config, instructions[i], alone.engine.now)
+        else:
+            # obs=False: the alone replay never records, even under a
+            # process-wide recording — the trace describes the shared run
+            # only.
+            alone = GPU(
+                config, [LaunchedKernel(spec, restart=True, stream_id=i)],
+                obs=False,
+            )
+            alone.run_until_instructions(
+                0, instructions[i],
+                max_cycles=max(4 * shared_cycles, 1_000_000),
+            )
+            alone_cycles.append(alone.engine.now)
+            if alone_cache is not None:
+                alone_cache.put(
+                    spec, i, config, instructions[i], alone.engine.now
+                )
+        if bus_ch is not None:
+            bus_ch.span(
+                "replay", time.perf_counter() - replay_t0,
+                app=spec.name, cached=cached is not None,
+                instructions=instructions[i],
+            )
 
     actual: list[float | None]
     if driver is not None:

@@ -42,6 +42,18 @@ from repro.obs.audit import (
     ModelAudit,
     export_audit_json,
 )
+from repro.obs.bus import (
+    BUS_SCHEMA,
+    SWEEP_SCHEMA,
+    BusReader,
+    SweepStats,
+    WorkerChannel,
+    merge_profiles,
+    profile_table,
+    read_bus,
+    sweep_chrome_trace,
+    validate_sweep_trace,
+)
 from repro.obs.diff import (
     DEFAULT_IGNORE,
     DIFF_SCHEMA,
@@ -56,13 +68,19 @@ from repro.obs.export import (
     events_csv,
     export_chrome_trace,
     export_events_csv,
+    export_sweep_trace,
     to_chrome_trace,
     trace_summary,
 )
-from repro.obs.inspect import inspect_json, inspect_path
+from repro.obs.inspect import inspect_json, inspect_path, summarize_sweep
 from repro.obs.progress import JsonlLogger, SweepProgress
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import export_html_report, render_html_report
+from repro.obs.report import (
+    export_html_report,
+    export_sweep_report,
+    render_html_report,
+    render_sweep_report,
+)
 from repro.obs.telemetry import Sample, Telemetry
 from repro.obs.tracer import (
     DEFAULT_CAPACITY,
@@ -144,4 +162,18 @@ __all__ = [
     "load_comparable",
     "DIFF_SCHEMA",
     "DEFAULT_IGNORE",
+    "BUS_SCHEMA",
+    "SWEEP_SCHEMA",
+    "WorkerChannel",
+    "BusReader",
+    "SweepStats",
+    "read_bus",
+    "sweep_chrome_trace",
+    "validate_sweep_trace",
+    "merge_profiles",
+    "profile_table",
+    "export_sweep_trace",
+    "summarize_sweep",
+    "render_sweep_report",
+    "export_sweep_report",
 ]

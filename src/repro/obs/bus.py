@@ -1,0 +1,790 @@
+"""Cross-process telemetry bus for harness sweeps.
+
+PR 3 made a *single run* observable; a sweep fanned out through
+:func:`repro.harness.parallel.run_jobs` was still a set of black-box
+worker processes.  This module is the sweep-scope spine: every worker
+(and the inline path, so inline and pooled sweeps measure identically)
+appends compact JSON-lines records to its own channel file under a bus
+directory, and the parent aggregates them — live (the progress reporter
+tails the channels for straggler warnings) and post hoc (a unified
+Chrome/Perfetto trace with one track per worker, a :class:`SweepStats`
+roll-up, and a merged sweep-wide cProfile table).
+
+Record taxonomy (schema :data:`BUS_SCHEMA`, one JSON object per line):
+
+* ``meta``      — first line of every channel file (schema, pid, role);
+* ``sweep``     — parent marks the start of one :func:`run_jobs` call
+  (sweep id, job count), so several sweeps can share one bus directory;
+* ``job_start`` — worker picked up a job (flushed immediately, so a
+  crashed worker still leaves evidence of what it was running);
+* ``span``      — one timed phase of the job lifecycle: ``dequeue``
+  (submit → worker pickup), ``simulate`` (the shared run, with backend
+  and event-engine mode), ``replay`` (one alone replay, with its
+  replay-cache verdict), ``serialize`` (result pickling, pooled only);
+* ``job_end``   — job finished in the worker: wall/CPU time, peak RSS,
+  cache counters, backend (flushed immediately);
+* ``outcome``   — the parent's settled verdict for the job (ok, failure
+  kind, attempts, resumed) — the only record a hard-crashed job gets
+  beyond its ``job_start``, which is how failure spans are attributed.
+
+Channels are append-only and torn-line tolerant: a worker killed
+mid-write corrupts at most its last line, which :func:`read_bus` skips.
+
+The bus is **off by default and free when off**: the harness consults
+one module-level channel reference (:func:`current`), so the disabled
+path is a handful of ``is None`` checks per *job* — nothing in the
+simulator's cycle loop is touched (the CI ``sweep-obs`` job gates this
+against the same <3% budget as single-run observability).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+#: Schema tag carried by every channel's ``meta`` record.
+BUS_SCHEMA = "repro.obs.bus/1"
+#: Schema tag of the aggregated ``sweep.json`` manifest.
+SWEEP_SCHEMA = "repro.obs.sweep/1"
+
+#: Chrome phases :func:`sweep_chrome_trace` may emit (kept local so the
+#: bus has no import edge back into :mod:`repro.obs.export`).
+_PHASES = frozenset({"i", "X", "C", "M"})
+
+try:  # POSIX: exact CPU time + peak RSS for the calling process
+    import resource as _resource
+
+    def _rusage() -> tuple[float, int]:
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        return ru.ru_utime + ru.ru_stime, int(ru.ru_maxrss)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    def _rusage() -> tuple[float, int]:
+        t = os.times()
+        return t.user + t.system, 0
+
+
+# --------------------------------------------------------------------------
+# Worker-side channel
+# --------------------------------------------------------------------------
+
+
+class WorkerChannel:
+    """One process's append-only JSONL channel into a bus directory.
+
+    Spans recorded between :meth:`job_start` and :meth:`job_end` inherit
+    the current (sweep, job) context, so instrumentation sites (e.g. the
+    alone-replay loop in :mod:`repro.harness.runner`) never need to know
+    which job they are serving.  ``job_start``/``job_end`` flush; spans
+    are buffered until the next flush, so a crash loses at most the
+    spans of the in-flight job — never its start record.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.pid = os.getpid()
+        self.path = self.directory / f"bus-{self.pid}.jsonl"
+        fresh = not self.path.exists()
+        self._fh = self.path.open("a")
+        self._sweep: str | None = None
+        self._job: int | None = None
+        self._job_t0 = 0.0
+        self._job_cpu0 = 0.0
+        if fresh:
+            self.record(
+                {"t": "meta", "schema": BUS_SCHEMA, "pid": self.pid,
+                 "ts": time.time()},
+                flush=True,
+            )
+
+    def record(self, rec: dict, flush: bool = False) -> None:
+        """Append one raw record (callers supply the ``t`` tag)."""
+        self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        if flush:
+            self._fh.flush()
+
+    def job_start(
+        self,
+        sweep: str,
+        job: int,
+        key: str,
+        attempt: int = 1,
+        submit_ts: float | None = None,
+    ) -> None:
+        """Enter job context; emits the (flushed) start record and, when
+        the parent's submit timestamp is known, the ``dequeue`` span."""
+        now = time.time()
+        self._sweep = sweep
+        self._job = job
+        self._job_t0 = now
+        self._job_cpu0 = _rusage()[0]
+        self.record(
+            {"t": "job_start", "sweep": sweep, "job": job, "key": key,
+             "pid": self.pid, "ts": now, "attempt": attempt},
+            flush=True,
+        )
+        if submit_ts is not None and now > submit_ts:
+            self.span("dequeue", now - submit_ts, ts=now)
+
+    def span(self, name: str, dur_s: float, ts: float | None = None,
+             **args: Any) -> None:
+        """One timed phase of the current job (buffered)."""
+        rec: dict[str, Any] = {
+            "t": "span", "name": name, "sweep": self._sweep,
+            "job": self._job, "pid": self.pid,
+            "ts": ts if ts is not None else time.time(),
+            "dur": dur_s,
+        }
+        if args:
+            rec["args"] = args
+        self.record(rec)
+
+    def job_end(
+        self,
+        ok: bool,
+        cache: dict | None = None,
+        backend: str | None = None,
+        failure_kind: str | None = None,
+    ) -> None:
+        """Leave job context; emits the (flushed) end record with the
+        job's wall/CPU time and the process's peak RSS so far."""
+        now = time.time()
+        cpu, rss_kb = _rusage()
+        rec: dict[str, Any] = {
+            "t": "job_end", "sweep": self._sweep, "job": self._job,
+            "pid": self.pid, "ts": now, "dur": now - self._job_t0,
+            "ok": ok, "cpu_s": max(0.0, cpu - self._job_cpu0),
+            "rss_peak_kb": rss_kb,
+        }
+        if cache is not None:
+            rec["cache"] = cache
+        if backend is not None:
+            rec["backend"] = backend
+        if failure_kind is not None:
+            rec["failure_kind"] = failure_kind
+        self.record(rec, flush=True)
+        self._sweep = None
+        self._job = None
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - disk gone
+            pass
+
+
+#: The process-wide active channel; ``None`` = bus off (the free path).
+_ACTIVE: WorkerChannel | None = None
+
+
+def activate(directory: str | os.PathLike) -> WorkerChannel:
+    """Open (or reuse) this process's channel into ``directory``.
+
+    Idempotent per directory: pool workers call this once per job and
+    keep appending to the same file; switching directories closes the
+    old channel first.
+    """
+    global _ACTIVE
+    directory = pathlib.Path(directory)
+    if _ACTIVE is not None:
+        if _ACTIVE.directory == directory and _ACTIVE.pid == os.getpid():
+            return _ACTIVE
+        if _ACTIVE.pid == os.getpid():
+            _ACTIVE.close()
+        # else: inherited across a fork — abandon the parent's channel
+        # without closing it, so its buffered records are not replayed
+        # into the file from the child.
+    _ACTIVE = WorkerChannel(directory)
+    return _ACTIVE
+
+
+def deactivate() -> None:
+    """Close and clear this process's channel (no-op when off)."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE.pid == os.getpid():
+        _ACTIVE.close()
+    _ACTIVE = None
+
+
+def current() -> WorkerChannel | None:
+    """The active channel, or None — instrumentation sites' single check."""
+    return _ACTIVE
+
+
+# --------------------------------------------------------------------------
+# Parent-side reading
+# --------------------------------------------------------------------------
+
+
+def bus_files(directory: str | os.PathLike) -> list[pathlib.Path]:
+    """The channel files under a bus directory, in stable order."""
+    d = pathlib.Path(directory)
+    if not d.is_dir():
+        return []
+    return sorted(d.glob("bus-*.jsonl"))
+
+
+def _parse_lines(text: str) -> list[dict]:
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue  # torn write from a killed worker
+        if isinstance(rec, dict):
+            out.append(rec)
+    return out
+
+
+def read_bus(directory: str | os.PathLike) -> list[dict]:
+    """All records from every channel, torn-line tolerant, ts-ordered."""
+    records: list[dict] = []
+    for path in bus_files(directory):
+        try:
+            records.extend(_parse_lines(path.read_text()))
+        except OSError:  # pragma: no cover - file vanished mid-read
+            continue
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+class BusReader:
+    """Incremental tail-reader over a bus directory.
+
+    The live progress reporter polls this between job completions; only
+    complete (newline-terminated) new lines are consumed, so a record
+    mid-write is simply picked up on the next poll.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self._offsets: dict[pathlib.Path, int] = {}
+
+    def poll(self) -> list[dict]:
+        """New complete records since the last poll, across all channels."""
+        out: list[dict] = []
+        for path in bus_files(self.directory):
+            offset = self._offsets.get(path, 0)
+            try:
+                with path.open("r") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:  # pragma: no cover
+                continue
+            if not chunk:
+                continue
+            complete = chunk.rfind("\n") + 1
+            self._offsets[path] = offset + len(chunk[:complete].encode())
+            out.extend(_parse_lines(chunk[:complete]))
+        return out
+
+
+# --------------------------------------------------------------------------
+# Aggregation: SweepStats
+# --------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sequence (0..1)."""
+    if not values:
+        return 0.0
+    vals = sorted(values)
+    if len(vals) == 1:
+        return vals[0]
+    pos = q * (len(vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = pos - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+@dataclass
+class _JobTrail:
+    """Everything the bus recorded about one (sweep, job) pair."""
+
+    sweep: str
+    job: int
+    key: str = "?"
+    start: dict | None = None
+    end: dict | None = None
+    spans: list[dict] = field(default_factory=list)
+    outcome: dict | None = None
+    attempts: list[tuple[dict | None, dict | None]] = field(
+        default_factory=list
+    )
+
+
+def _collate(records: Iterable[dict]) -> dict[tuple[str, int], _JobTrail]:
+    """Group raw records into per-job trails (last attempt wins)."""
+    trails: dict[tuple[str, int], _JobTrail] = {}
+
+    def trail(rec: dict) -> _JobTrail:
+        k = (str(rec.get("sweep")), int(rec.get("job", -1)))
+        if k not in trails:
+            trails[k] = _JobTrail(sweep=k[0], job=k[1])
+        return trails[k]
+
+    for rec in records:
+        t = rec.get("t")
+        if t == "job_start":
+            tr = trail(rec)
+            tr.attempts.append((rec, None))
+            tr.start = rec
+            tr.end = None  # a retry's start supersedes the prior end
+            tr.key = rec.get("key", tr.key)
+        elif t == "job_end":
+            tr = trail(rec)
+            tr.end = rec
+            if tr.attempts and tr.attempts[-1][1] is None:
+                tr.attempts[-1] = (tr.attempts[-1][0], rec)
+            else:
+                tr.attempts.append((None, rec))
+        elif t == "span":
+            trail(rec).spans.append(rec)
+        elif t == "outcome":
+            tr = trail(rec)
+            tr.outcome = rec
+            tr.key = rec.get("key", tr.key)
+    return trails
+
+
+def _dominant_phase(trail: _JobTrail) -> tuple[str, float]:
+    """(phase name, seconds) of the job's longest recorded span."""
+    best, best_s = "simulate", 0.0
+    totals: dict[str, float] = {}
+    for sp in trail.spans:
+        name = sp.get("name", "?")
+        if name == "replay" and (sp.get("args") or {}).get("cached"):
+            name = "replay(cached)"
+        totals[name] = totals.get(name, 0.0) + float(sp.get("dur", 0.0))
+    for name, total in totals.items():
+        if total > best_s:
+            best, best_s = name, total
+    return best, best_s
+
+
+@dataclass
+class SweepStats:
+    """Aggregated roll-up of one bus directory (possibly several sweeps).
+
+    ``latency`` percentiles cover *completed* jobs only; crashed jobs —
+    a ``job_start`` (or parent ``outcome``) with no ``job_end`` — are
+    counted in ``failed``/``incomplete`` and attributed in ``failures``.
+    ``cache["est_saved_s"]`` is the hit count times the mean *uncached*
+    replay span, the honest economics of the alone-replay cache.
+    """
+
+    n_jobs: int = 0
+    ok: int = 0
+    failed: int = 0
+    incomplete: int = 0  #: started (or settled) but never wrote job_end
+    resumed: int = 0
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    cpu_s: float = 0.0
+    parallel_efficiency: float = 0.0
+    latency: dict[str, float] = field(default_factory=dict)
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    cache: dict[str, float] = field(default_factory=dict)
+    backends: dict[str, dict[str, float]] = field(default_factory=dict)
+    workers: dict[str, dict[str, float]] = field(default_factory=dict)
+    stragglers: list[dict] = field(default_factory=list)
+    failures: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "SweepStats":
+        """Aggregate raw bus records (see :func:`read_bus`)."""
+        stats = cls()
+        trails = _collate(records)
+        durations: list[float] = []
+        completed: list[_JobTrail] = []
+        ts_lo: float | None = None
+        ts_hi = 0.0
+        for rec in records:
+            ts = rec.get("ts")
+            if isinstance(ts, (int, float)):
+                ts_lo = ts if ts_lo is None else min(ts_lo, ts)
+                ts_hi = max(ts_hi, ts)
+
+        replay_uncached: list[float] = []
+        replay_cached: list[float] = []
+        for trail in trails.values():
+            stats.n_jobs += 1
+            out = trail.outcome or {}
+            ok = out.get("ok", trail.end.get("ok") if trail.end else None)
+            if out.get("resumed"):
+                stats.resumed += 1
+            if ok:
+                stats.ok += 1
+            else:
+                stats.failed += 1
+                stats.failures.append({
+                    "job": trail.job,
+                    "key": trail.key,
+                    "kind": out.get("failure_kind")
+                    or (trail.end or {}).get("failure_kind")
+                    or ("crash" if trail.start and not trail.end
+                        else "exception"),
+                    "attempts": out.get("attempts", len(trail.attempts)),
+                })
+            if trail.start is not None and trail.end is None:
+                stats.incomplete += 1
+            end = trail.end
+            if end is not None:
+                dur = float(end.get("dur", 0.0))
+                durations.append(dur)
+                completed.append(trail)
+                stats.busy_s += dur
+                stats.cpu_s += float(end.get("cpu_s", 0.0))
+                backend = end.get("backend")
+                if backend:
+                    b = stats.backends.setdefault(
+                        backend, {"jobs": 0, "total_s": 0.0})
+                    b["jobs"] += 1
+                    b["total_s"] += dur
+                cache = end.get("cache")
+                if cache:
+                    for k in ("hits", "misses", "stores"):
+                        stats.cache[k] = (
+                            stats.cache.get(k, 0) + cache.get(k, 0)
+                        )
+                w = stats.workers.setdefault(
+                    str(end.get("pid", "?")),
+                    {"jobs": 0, "busy_s": 0.0, "cpu_s": 0.0,
+                     "rss_peak_kb": 0},
+                )
+                w["jobs"] += 1
+                w["busy_s"] += dur
+                w["cpu_s"] += float(end.get("cpu_s", 0.0))
+                w["rss_peak_kb"] = max(
+                    w["rss_peak_kb"], end.get("rss_peak_kb", 0))
+            for sp in trail.spans:
+                name = sp.get("name", "?")
+                dur = float(sp.get("dur", 0.0))
+                ph = stats.phases.setdefault(
+                    name, {"count": 0, "total_s": 0.0})
+                ph["count"] += 1
+                ph["total_s"] += dur
+                if name == "replay":
+                    if (sp.get("args") or {}).get("cached"):
+                        replay_cached.append(dur)
+                    else:
+                        replay_uncached.append(dur)
+
+        if durations:
+            stats.latency = {
+                "p50": percentile(durations, 0.50),
+                "p95": percentile(durations, 0.95),
+                "p99": percentile(durations, 0.99),
+                "mean": sum(durations) / len(durations),
+                "max": max(durations),
+            }
+            p50 = stats.latency["p50"]
+            for trail in completed:
+                dur = float(trail.end.get("dur", 0.0))
+                if p50 > 0 and dur > 2.0 * p50:
+                    phase, phase_s = _dominant_phase(trail)
+                    stats.stragglers.append({
+                        "job": trail.job,
+                        "key": trail.key,
+                        "dur_s": dur,
+                        "ratio": dur / p50,
+                        "dominant_phase": phase,
+                        "phase_s": phase_s,
+                    })
+            stats.stragglers.sort(key=lambda s: -s["dur_s"])
+        if stats.cache:
+            probes = stats.cache.get("hits", 0) + stats.cache.get("misses", 0)
+            stats.cache["hit_rate"] = (
+                stats.cache.get("hits", 0) / probes if probes else 0.0
+            )
+            mean_uncached = (
+                sum(replay_uncached) / len(replay_uncached)
+                if replay_uncached else 0.0
+            )
+            stats.cache["est_saved_s"] = (
+                stats.cache.get("hits", 0) * mean_uncached
+                - sum(replay_cached)
+            )
+        if ts_lo is not None:
+            stats.wall_s = max(0.0, ts_hi - ts_lo)
+        n_workers = len(stats.workers)
+        if stats.wall_s > 0 and n_workers:
+            stats.parallel_efficiency = min(
+                1.0, stats.busy_s / (stats.wall_s * n_workers))
+        return stats
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe ``sweep.json`` payload (schema :data:`SWEEP_SCHEMA`)."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "n_jobs": self.n_jobs,
+            "ok": self.ok,
+            "failed": self.failed,
+            "incomplete": self.incomplete,
+            "resumed": self.resumed,
+            "wall_s": self.wall_s,
+            "busy_s": self.busy_s,
+            "cpu_s": self.cpu_s,
+            "parallel_efficiency": self.parallel_efficiency,
+            "latency": dict(self.latency),
+            "phases": {k: dict(v) for k, v in sorted(self.phases.items())},
+            "cache": dict(self.cache),
+            "backends": {
+                k: dict(v) for k, v in sorted(self.backends.items())
+            },
+            "workers": {
+                k: dict(v) for k, v in sorted(self.workers.items())
+            },
+            "stragglers": list(self.stragglers),
+            "failures": list(self.failures),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepStats":
+        stats = cls()
+        for name in ("n_jobs", "ok", "failed", "incomplete", "resumed",
+                     "wall_s", "busy_s", "cpu_s", "parallel_efficiency"):
+            setattr(stats, name, d.get(name, getattr(stats, name)))
+        stats.latency = dict(d.get("latency", {}))
+        stats.phases = {k: dict(v) for k, v in d.get("phases", {}).items()}
+        stats.cache = dict(d.get("cache", {}))
+        stats.backends = {
+            k: dict(v) for k, v in d.get("backends", {}).items()
+        }
+        stats.workers = {k: dict(v) for k, v in d.get("workers", {}).items()}
+        stats.stragglers = list(d.get("stragglers", []))
+        stats.failures = list(d.get("failures", []))
+        return stats
+
+    def comparable(self) -> dict[str, Any]:
+        """The wall-clock-free projection: identical between an inline
+        and a pooled execution of the same job list (the determinism
+        contract ``tests/test_bus.py`` enforces)."""
+        return {
+            "n_jobs": self.n_jobs,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cache": {
+                k: self.cache.get(k, 0)
+                for k in ("hits", "misses", "stores")
+            },
+            "backends": {
+                k: int(v.get("jobs", 0))
+                for k, v in sorted(self.backends.items())
+            },
+            "phases": {
+                k: int(v.get("count", 0))
+                for k, v in sorted(self.phases.items())
+                # dequeue/serialize only exist when a pool is involved.
+                if k in ("simulate", "replay")
+            },
+        }
+
+
+# --------------------------------------------------------------------------
+# Sweep-level Chrome trace
+# --------------------------------------------------------------------------
+
+
+def sweep_chrome_trace(records: Iterable[dict]) -> dict[str, Any]:
+    """Chrome ``trace_event`` payload: one process per worker pid, one
+    slice per job attempt (tid 0) with its phase spans on tid 1.
+
+    A job whose worker died mid-run (``job_start`` with no ``job_end``)
+    still gets a slice: its duration comes from the parent's ``outcome``
+    record when one exists (else the last timestamp seen on the bus),
+    and its args carry the attributed failure kind — the partial-trace
+    contract for crashed sweeps.
+    """
+    records = list(records)
+    trails = _collate(records)
+    ts_values = [
+        r["ts"] for r in records if isinstance(r.get("ts"), (int, float))
+    ]
+    t0 = min(ts_values) if ts_values else 0.0
+    t_hi = max(ts_values) if ts_values else 0.0
+
+    def us(ts: float) -> float:
+        return max(0.0, (ts - t0) * 1e6)
+
+    pids = sorted({
+        int(r.get("pid")) for r in records
+        if r.get("t") in ("job_start", "job_end", "span")
+        and isinstance(r.get("pid"), int)
+    })
+    pid_index = {pid: i for i, pid in enumerate(pids)}
+
+    events: list[dict[str, Any]] = []
+    for trail in sorted(trails.values(), key=lambda t: (t.sweep, t.job)):
+        out = trail.outcome or {}
+        for start, end in (trail.attempts or [(trail.start, trail.end)]):
+            anchor = start or end
+            if anchor is None:
+                continue
+            pid = pid_index.get(anchor.get("pid"), 0)
+            if start is not None and end is not None:
+                ts, dur = start["ts"], float(end.get("dur", 0.0))
+                ok = bool(end.get("ok"))
+                args: dict[str, Any] = {
+                    "job": trail.job, "sweep": trail.sweep, "ok": ok,
+                    "attempt": start.get("attempt", 1),
+                }
+                if end.get("cache"):
+                    args["cache"] = end["cache"]
+                if end.get("backend"):
+                    args["backend"] = end["backend"]
+                name = trail.key if ok else f"{trail.key} (failed)"
+            elif start is not None:
+                # Crashed or timed-out attempt: synthesize the slice.
+                ts = start["ts"]
+                dur = float(out.get("duration_s") or 0.0)
+                if dur <= 0.0:
+                    dur = max(0.0, t_hi - ts)
+                kind = out.get("failure_kind") or "crash"
+                args = {
+                    "job": trail.job, "sweep": trail.sweep, "ok": False,
+                    "attempt": start.get("attempt", 1), "failure": kind,
+                }
+                name = f"{trail.key} ({kind})"
+            else:
+                continue
+            events.append({
+                "name": name, "ph": "X", "ts": us(ts),
+                "dur": dur * 1e6, "pid": pid, "tid": 0, "args": args,
+            })
+        for sp in trail.spans:
+            pid = pid_index.get(sp.get("pid"), 0)
+            dur = float(sp.get("dur", 0.0))
+            args = {"job": trail.job, **(sp.get("args") or {})}
+            events.append({
+                "name": sp.get("name", "?"), "ph": "X",
+                "ts": us(float(sp.get("ts", t0)) - dur),
+                "dur": dur * 1e6, "pid": pid, "tid": 1, "args": args,
+            })
+        if trail.start is not None and trail.end is None:
+            pid = pid_index.get(trail.start.get("pid"), 0)
+            events.append({
+                "name": "worker lost", "ph": "i",
+                "ts": us(trail.start["ts"]), "pid": pid, "tid": 0,
+                "args": {"job": trail.job, "key": trail.key},
+            })
+    events.sort(key=lambda ev: ev["ts"])
+
+    meta: list[dict[str, Any]] = []
+    for pid, idx in sorted(pid_index.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "process_name", "ph": "M", "ts": 0.0,
+            "pid": idx, "tid": 0,
+            "args": {"name": f"worker {idx} (pid {pid})"},
+        })
+        meta.append({
+            "name": "thread_name", "ph": "M", "ts": 0.0,
+            "pid": idx, "tid": 0, "args": {"name": "jobs"},
+        })
+        meta.append({
+            "name": "thread_name", "ph": "M", "ts": 0.0,
+            "pid": idx, "tid": 1, "args": {"name": "phases"},
+        })
+    sweeps = sorted({t.sweep for t in trails.values()})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.bus",
+            "schema": BUS_SCHEMA,
+            "clock": "wall time (1 us = 1 us)",
+            "sweeps": sweeps,
+            "n_jobs": len(trails),
+            "n_workers": len(pids),
+        },
+    }
+
+
+def validate_sweep_trace(payload: Any) -> None:
+    """Structural validation of a sweep Chrome trace; raises ValueError
+    on the first malformation (CI loads the emitted file through this).
+    """
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("traceEvents"), list
+    ):
+        raise ValueError("payload is not a {'traceEvents': [...]} object")
+    seen_pids: set[int] = set()
+    named_pids: set[int] = set()
+    for n, ev in enumerate(payload["traceEvents"]):
+        where = f"traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ValueError(f"{where} has no name")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"{where} has illegal phase {ph!r}")
+        if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+            raise ValueError(f"{where} has bad ts {ev.get('ts')!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            raise ValueError(f"{where} has non-integer pid/tid")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+                raise ValueError(f"{where} slice has bad dur")
+        if ph == "M" and ev["name"] == "process_name":
+            named_pids.add(ev["pid"])
+        elif ph != "M":
+            seen_pids.add(ev["pid"])
+    unnamed = seen_pids - named_pids
+    if unnamed:
+        raise ValueError(f"pids without process_name metadata: {sorted(unnamed)}")
+
+
+# --------------------------------------------------------------------------
+# Per-job profiling: dump in workers, merge in the parent
+# --------------------------------------------------------------------------
+
+
+def profile_path(
+    directory: str | os.PathLike, job: int, attempt: int
+) -> pathlib.Path:
+    """Where a worker dumps one job attempt's pstats inside the bus dir."""
+    return pathlib.Path(directory) / f"prof-job{job}-a{attempt}.pstats"
+
+
+def merge_profiles(directory: str | os.PathLike):
+    """Merge every per-job pstats dump under ``directory`` into one
+    :class:`pstats.Stats` (None when there are no dumps).  Corrupt dumps
+    (a worker killed mid-write) are skipped, not fatal.
+    """
+    import pstats
+
+    merged = None
+    for path in sorted(pathlib.Path(directory).glob("prof-*.pstats")):
+        try:
+            if merged is None:
+                merged = pstats.Stats(str(path))
+            else:
+                merged.add(str(path))
+        except Exception:  # noqa: BLE001 - torn dump from a dead worker
+            continue
+    return merged
+
+
+def profile_table(stats, limit: int = 15) -> list[list[str]]:
+    """Top-``limit`` functions of a merged profile by cumulative time:
+    rows of [calls, tottime, cumtime, function]."""
+    rows: list[list[str]] = []
+    entries = sorted(
+        stats.stats.items(), key=lambda kv: -kv[1][3]  # ct, cumulative
+    )
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _) in entries[:limit]:
+        where = f"{os.path.basename(filename)}:{lineno}({funcname})"
+        rows.append([str(nc), f"{tt:.3f}", f"{ct:.3f}", where])
+    return rows

@@ -26,6 +26,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.bus import SWEEP_SCHEMA
+
 #: Schema tag for :meth:`DiffResult.to_dict` payloads.
 DIFF_SCHEMA = "repro.obs.diff/1"
 
@@ -40,6 +42,24 @@ DEFAULT_IGNORE = frozenset({
     "cache",       # alone-replay cache hit/miss counters
     "files",       # export file list (depends on --format selection)
 })
+
+#: Extra ignores when both sides are sweep-stats manifests
+#: (``repro.obs.sweep/1``): host-execution noise — which pids ran the
+#: jobs, how parallel the pool happened to be — while the *performance
+#: distribution* (latency percentiles, phase totals, cache economics,
+#: per-backend split) stays comparable under ``--rel-tol``.  Unlike a
+#: run diff, the cache block here is a deliberate comparand: cache-hit
+#: drift between two sweeps is exactly what this gate is for.
+SWEEP_IGNORE = (DEFAULT_IGNORE | frozenset({
+    "workers",              # pid-keyed: never comparable across hosts
+    "stragglers",           # job-level wall-clock outliers (host noise)
+    "failures",             # diagnosed via ok/failed counts instead
+    "wall_s",               # sweep wall-clock
+    "busy_s",               # sum of job wall-clocks
+    "cpu_s",                # host CPU seconds
+    "parallel_efficiency",  # derived from wall_s + workers
+    "rss_peak_kb",          # host memory
+})) - frozenset({"cache", "duration_s"})
 
 
 @dataclass
@@ -221,7 +241,9 @@ def load_comparable(path: str | os.PathLike) -> Any:
     if p.is_dir():
         manifest = p / "run.json"
         if not manifest.is_file():
-            raise ValueError(f"no run.json found under {p}")
+            manifest = p / "sweep.json"
+        if not manifest.is_file():
+            raise ValueError(f"no run.json or sweep.json found under {p}")
         p = manifest
     if not p.is_file():
         raise ValueError(f"{p} does not exist")
@@ -268,9 +290,23 @@ def diff_paths(
     ignore: Sequence[str] | frozenset[str] = DEFAULT_IGNORE,
     only: str | None = None,
 ) -> DiffResult:
-    """Load and compare two run manifests / sweep logs / JSON files."""
+    """Load and compare two run manifests / sweep logs / JSON files.
+
+    When both sides are sweep-stats manifests (``repro.obs.sweep/1``) and
+    the caller did not customize the ignore set, :data:`SWEEP_IGNORE`
+    applies automatically, so ``repro diff sweepA sweepB --rel-tol 0.2``
+    gates latency-distribution and cache-hit-rate drift without tripping
+    on pids and wall-clock noise.
+    """
     a = load_comparable(path_a)
     b = load_comparable(path_b)
+    if (
+        ignore is DEFAULT_IGNORE
+        and isinstance(a, dict) and isinstance(b, dict)
+        and a.get("schema") == SWEEP_SCHEMA
+        and b.get("schema") == SWEEP_SCHEMA
+    ):
+        ignore = SWEEP_IGNORE
     if only:
         a = navigate(a, only)
         b = navigate(b, only)

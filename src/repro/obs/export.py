@@ -129,6 +129,29 @@ def export_chrome_trace(
     return payload
 
 
+# -------------------------------------------------------------- sweep trace
+
+
+def export_sweep_trace(
+    source, path: str | os.PathLike
+) -> dict[str, Any]:
+    """Write a sweep-level Chrome trace (one track per pool worker, one
+    slice per job) from a telemetry-bus recording to ``path``.
+
+    ``source`` is a bus directory or an already-read record list (see
+    :func:`repro.obs.bus.read_bus`); returns the validated payload.
+    """
+    from repro.obs import bus
+
+    records = source if isinstance(source, list) else bus.read_bus(source)
+    payload = bus.sweep_chrome_trace(records)
+    bus.validate_sweep_trace(payload)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+        fh.write("\n")
+    return payload
+
+
 # --------------------------------------------------------------------- CSV
 
 CSV_HEADER = ("ts", "ph", "name", "pid", "tid", "dur", "args")

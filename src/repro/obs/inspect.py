@@ -7,6 +7,10 @@ workload result, the metrics-registry snapshot, and a trace digest).
 * a ``run.json`` manifest (or a directory containing one), or
 * a raw Chrome trace JSON (``{"traceEvents": [...]}``),
 
+* a sweep-stats manifest (``sweep.json`` written by ``--sweep-trace``,
+  schema ``repro.obs.sweep/1``) — pass ``--sweep`` to prefer it when a
+  directory holds both a run and a sweep recording,
+
 so a recording can be triaged from the terminal before opening Perfetto.
 """
 
@@ -15,6 +19,8 @@ from __future__ import annotations
 import json
 import pathlib
 from typing import Any, Iterable, Sequence
+
+from repro.obs.bus import SWEEP_SCHEMA
 
 RUN_SCHEMA = "repro.obs.run/1"
 
@@ -164,20 +170,126 @@ def summarize_chrome(payload: dict[str, Any]) -> str:
     return "\n".join(out)
 
 
-def load_recorded(path: str) -> tuple[str, dict[str, Any]]:
+def summarize_sweep(stats: dict[str, Any]) -> str:
+    """Summary of a ``sweep.json`` sweep-stats manifest."""
+    out: list[str] = []
+    out.append(
+        f"sweep: {stats.get('n_jobs', 0)} jobs, {stats.get('ok', 0)} ok, "
+        f"{stats.get('failed', 0)} failed"
+        + (f", {stats['resumed']} resumed" if stats.get("resumed") else "")
+        + (f", {stats['incomplete']} incomplete"
+           if stats.get("incomplete") else "")
+    )
+    out.append(
+        f"wall {stats.get('wall_s', 0.0):.1f}s, busy "
+        f"{stats.get('busy_s', 0.0):.1f}s across "
+        f"{len(stats.get('workers') or {})} workers "
+        f"(efficiency {stats.get('parallel_efficiency', 0.0):.0%}), "
+        f"cpu {stats.get('cpu_s', 0.0):.1f}s"
+    )
+    lat = stats.get("latency") or {}
+    if lat:
+        out.append(
+            "job latency: "
+            + "  ".join(
+                f"{k}={lat[k]:.2f}s"
+                for k in ("p50", "p95", "p99", "mean", "max") if k in lat
+            )
+        )
+    phases = stats.get("phases") or {}
+    if phases:
+        out.append("")
+        out.append(_table(
+            ["phase", "count", "total_s"],
+            [
+                [name, int(row.get("count", 0)),
+                 f"{row.get('total_s', 0.0):.2f}"]
+                for name, row in sorted(
+                    phases.items(), key=lambda kv: -kv[1].get("total_s", 0)
+                )
+            ],
+        ))
+    cache = stats.get("cache") or {}
+    if cache:
+        out.append("")
+        out.append(
+            f"replay cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"(rate {cache.get('hit_rate', 0.0):.0%}), "
+            f"~{cache.get('est_saved_s', 0.0):.1f}s replay time saved"
+        )
+    backends = stats.get("backends") or {}
+    if backends:
+        out.append(_table(
+            ["backend", "jobs", "total_s"],
+            [
+                [name, int(row.get("jobs", 0)),
+                 f"{row.get('total_s', 0.0):.2f}"]
+                for name, row in sorted(backends.items())
+            ],
+        ))
+    workers = stats.get("workers") or {}
+    if workers:
+        out.append("")
+        out.append(_table(
+            ["worker pid", "jobs", "busy_s", "cpu_s", "rss_peak_kb"],
+            [
+                [pid, int(w.get("jobs", 0)), f"{w.get('busy_s', 0.0):.2f}",
+                 f"{w.get('cpu_s', 0.0):.2f}", int(w.get("rss_peak_kb", 0))]
+                for pid, w in sorted(workers.items())
+            ],
+        ))
+    stragglers = stats.get("stragglers") or []
+    if stragglers:
+        out.append("")
+        out.append("stragglers (> 2x p50):")
+        out.append(_table(
+            ["job", "key", "dur_s", "x p50", "dominant phase"],
+            [
+                [s.get("job"), s.get("key", "?"),
+                 f"{s.get('dur_s', 0.0):.2f}", f"{s.get('ratio', 0.0):.1f}",
+                 f"{s.get('dominant_phase', '?')} "
+                 f"({s.get('phase_s', 0.0):.2f}s)"]
+                for s in stragglers
+            ],
+        ))
+    failures = stats.get("failures") or []
+    if failures:
+        out.append("")
+        out.append(_table(
+            ["failed job", "key", "kind", "attempts"],
+            [
+                [f.get("job"), f.get("key", "?"), f.get("kind", "?"),
+                 f.get("attempts", 1)]
+                for f in failures
+            ],
+        ))
+    return "\n".join(out)
+
+
+def load_recorded(
+    path: str, prefer: str | None = None
+) -> tuple[str, dict[str, Any]]:
     """Load and classify what ``path`` holds: ``("run", manifest)`` for a
-    run.json manifest (or a directory containing one), ``("chrome",
-    payload)`` for a raw Chrome trace.
+    run.json manifest, ``("sweep", stats)`` for a sweep.json sweep-stats
+    manifest, ``("chrome", payload)`` for a raw Chrome trace.  For a
+    directory, run.json wins unless it is absent or ``prefer="sweep"``.
 
     Raises ValueError with a one-line message on missing, corrupt, or
     unrecognized input — never a traceback-worthy parse error.
     """
     p = pathlib.Path(path)
     if p.is_dir():
-        manifest = p / "run.json"
-        if not manifest.is_file():
-            raise ValueError(f"no run.json found under {p}")
-        p = manifest
+        run = p / "run.json"
+        sweep = p / "sweep.json"
+        if prefer == "sweep" and sweep.is_file():
+            p = sweep
+        elif run.is_file():
+            p = run
+        elif sweep.is_file():
+            p = sweep
+        else:
+            raise ValueError(f"no run.json or sweep.json found under {p}")
     if not p.is_file():
         raise ValueError(f"{p} does not exist")
     try:
@@ -187,19 +299,21 @@ def load_recorded(path: str) -> tuple[str, dict[str, Any]]:
         raise ValueError(f"{p} is not valid JSON: {exc}") from exc
     if isinstance(payload, dict) and payload.get("schema") == RUN_SCHEMA:
         return "run", payload
+    if isinstance(payload, dict) and payload.get("schema") == SWEEP_SCHEMA:
+        return "sweep", payload
     if isinstance(payload, dict) and "traceEvents" in payload:
         return "chrome", payload
     raise ValueError(
-        f"{p} is neither a repro run manifest ({RUN_SCHEMA}) nor a Chrome "
-        "trace"
+        f"{p} is neither a repro run manifest ({RUN_SCHEMA}), a sweep-stats "
+        f"manifest ({SWEEP_SCHEMA}), nor a Chrome trace"
     )
 
 
-def inspect_json(path: str) -> dict[str, Any]:
+def inspect_json(path: str, prefer: str | None = None) -> dict[str, Any]:
     """Machine-readable inspection payload (``repro inspect --json``)."""
-    kind, payload = load_recorded(path)
-    if kind == "run":
-        return {"kind": "run", **payload}
+    kind, payload = load_recorded(path, prefer=prefer)
+    if kind in ("run", "sweep"):
+        return {"kind": kind, **payload}
     events = payload.get("traceEvents", [])
     by_name: dict[str, int] = {}
     for ev in events:
@@ -215,9 +329,11 @@ def inspect_json(path: str) -> dict[str, Any]:
     }
 
 
-def inspect_path(path: str) -> str:
+def inspect_path(path: str, prefer: str | None = None) -> str:
     """Dispatch on what ``path`` holds; raises ValueError when unrecognized."""
-    kind, payload = load_recorded(path)
+    kind, payload = load_recorded(path, prefer=prefer)
     if kind == "run":
         return summarize_run(payload)
+    if kind == "sweep":
+        return summarize_sweep(payload)
     return summarize_chrome(payload)

@@ -9,7 +9,19 @@ and cache counters).
 
 The reporter is deliberately decoupled from the pool: it only consumes
 :class:`~repro.harness.parallel.JobOutcome` objects, so inline and pooled
-sweeps report identically and tests can drive it directly.
+sweeps report identically and tests can drive it directly.  When the
+sweep runs with the telemetry bus enabled (:mod:`repro.obs.bus`), pass
+the bus directory as ``bus=`` and the reporter additionally tails the
+worker channels between completions, warning once per job that has been
+in flight longer than 3× the EWMA job duration — the live counterpart of
+the post-hoc straggler attribution in ``SweepStats``.
+
+ETA uses an exponentially weighted moving average (α = 0.3) of the gaps
+between job *completions* rather than the global mean rate: on
+heterogeneous sweeps (a 12-app pair next to a 2-app pair) the global
+mean is dominated by ancient history and the ETA jitters wildly as big
+jobs land; the EWMA tracks the recent regime, and because completion
+gaps already fold in worker parallelism it needs no jobs/worker model.
 """
 
 from __future__ import annotations
@@ -17,7 +29,9 @@ from __future__ import annotations
 import json
 import sys
 import time
-from typing import IO, TYPE_CHECKING
+from typing import IO, TYPE_CHECKING, Callable
+
+from repro.obs import bus as obs_bus
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.harness.parallel import JobOutcome
@@ -35,12 +49,19 @@ def _fmt_eta(seconds: float) -> str:
 class SweepProgress:
     """Progress reporter for one sweep of ``total`` workload jobs."""
 
+    #: EWMA smoothing factor for completion gaps and job durations.
+    ALPHA = 0.3
+    #: A job is a live straggler when in flight > this × EWMA duration.
+    STRAGGLER_FACTOR = 3.0
+
     def __init__(
         self,
         total: int,
         stream: IO[str] | None = None,
         label: str = "sweep",
         jsonl: IO[str] | None = None,
+        bus: "str | obs_bus.BusReader | None" = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.total = total
         self.label = label
@@ -51,14 +72,31 @@ class SweepProgress:
         self.cache_hits = 0
         self.cache_misses = 0
         self.busy_seconds = 0.0
-        self._t0 = time.perf_counter()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._t0 = self._clock()
+        self._last_done_t = self._t0
+        self._ewma_gap: float | None = None   # between completions
+        self._ewma_dur: float | None = None   # job durations
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._closed = False
+        self._bus: obs_bus.BusReader | None = None
+        if bus is not None:
+            self._bus = (
+                bus if isinstance(bus, obs_bus.BusReader)
+                else obs_bus.BusReader(bus)
+            )
+        self._inflight: dict[tuple, dict] = {}
+        self._warned: set[tuple] = set()
 
     # ------------------------------------------------------------- protocol
 
     def job_done(self, outcome: "JobOutcome") -> None:
         """Record one completed job and refresh the status line."""
+        now = self._clock()
+        gap = max(0.0, now - self._last_done_t)
+        self._last_done_t = now
+        self._ewma_gap = self._ewma(self._ewma_gap, gap)
+        self._ewma_dur = self._ewma(self._ewma_dur, outcome.duration_s)
         self.done += 1
         self.busy_seconds += outcome.duration_s
         if not outcome.ok:
@@ -69,6 +107,40 @@ class SweepProgress:
         self._emit_line(outcome)
         if self.jsonl is not None:
             self._emit_json(outcome)
+        if self._bus is not None:
+            self._check_stragglers()
+
+    def _ewma(self, prev: float | None, value: float) -> float:
+        if prev is None:
+            return value
+        return self.ALPHA * value + (1.0 - self.ALPHA) * prev
+
+    def _check_stragglers(self) -> None:
+        """Tail the bus channels; warn once per suspiciously old job."""
+        for rec in self._bus.poll():
+            t = rec.get("t")
+            key = (rec.get("sweep"), rec.get("job"))
+            if t == "job_start":
+                self._inflight[key] = rec
+            elif t in ("job_end", "outcome"):
+                self._inflight.pop(key, None)
+        if self._ewma_dur is None or self._ewma_dur <= 0:
+            return
+        threshold = self.STRAGGLER_FACTOR * self._ewma_dur
+        now = time.time()  # bus timestamps are wall clock
+        for key, rec in self._inflight.items():
+            if key in self._warned:
+                continue
+            age = now - rec.get("ts", now)
+            if age > threshold:
+                self._warned.add(key)
+                self.stream.write(
+                    f"\n{self.label}: straggler: job {rec.get('job')} "
+                    f"({rec.get('key', '?')}) in flight {age:.1f}s "
+                    f"(> {self.STRAGGLER_FACTOR:.0f}x EWMA "
+                    f"{self._ewma_dur:.1f}s)\n"
+                )
+                self.stream.flush()
 
     def close(self) -> None:
         """Finish the status line and print the sweep summary."""
@@ -77,7 +149,7 @@ class SweepProgress:
         self._closed = True
         if self._tty:
             self.stream.write("\n")
-        elapsed = time.perf_counter() - self._t0
+        elapsed = self._clock() - self._t0
         rate = self.done / elapsed if elapsed > 0 else 0.0
         self.stream.write(
             f"{self.label}: {self.done}/{self.total} jobs in "
@@ -89,9 +161,14 @@ class SweepProgress:
     # ------------------------------------------------------------ rendering
 
     def _status(self, outcome: "JobOutcome") -> str:
-        elapsed = time.perf_counter() - self._t0
+        elapsed = self._clock() - self._t0
         rate = self.done / elapsed if elapsed > 0 else 0.0
-        remaining = (self.total - self.done) / rate if rate > 0 else 0.0
+        # EWMA of completion gaps, not the global mean rate: stable on
+        # heterogeneous sweeps, adapts when the job-size regime shifts.
+        remaining = (
+            (self.total - self.done) * self._ewma_gap
+            if self._ewma_gap else 0.0
+        )
         bits = [
             f"[{self.done}/{self.total}]",
             outcome.job.key,

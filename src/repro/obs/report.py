@@ -585,6 +585,219 @@ def export_html_report(path: str | os.PathLike, **kw) -> str:
     return html
 
 
+def _sweep_gantt(trace_payload: dict) -> str:
+    """Per-worker gantt of job slices from a sweep Chrome-trace payload."""
+    slices = [
+        ev for ev in trace_payload.get("traceEvents", [])
+        if ev.get("ph") == "X" and ev.get("tid") == 0
+    ]
+    if not slices:
+        return ""
+    pids = sorted({ev["pid"] for ev in slices})
+    t_hi = max(ev["ts"] + ev.get("dur", 0.0) for ev in slices) or 1.0
+    row_h, gap, left = 26, 6, 110
+    width = 760
+    height = len(pids) * (row_h + gap) + 24
+    iw = width - left - 12
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="per-worker job timeline">'
+    ]
+    for row, pid in enumerate(pids):
+        y = row * (row_h + gap)
+        parts.append(
+            f'<text x="{left - 8}" y="{y + row_h / 2 + 4:.1f}" '
+            f'class="tick" text-anchor="end">worker {pid}</text>'
+        )
+        for ev in slices:
+            if ev["pid"] != pid:
+                continue
+            x = left + ev["ts"] / t_hi * iw
+            w = max(1.5, ev.get("dur", 0.0) / t_hi * iw)
+            ok = (ev.get("args") or {}).get("ok", True)
+            color = "var(--series-1)" if ok else "var(--series-2)"
+            dur_s = ev.get("dur", 0.0) / 1e6
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{row_h}" rx="3" fill="{color}" opacity="0.85">'
+                f'<title>{_esc(ev.get("name", "?"))}: {dur_s:.2f}s</title>'
+                "</rect>"
+            )
+    parts.append(
+        f'<text x="{left}" y="{height - 6}" class="tick">0s</text>'
+        f'<text x="{width - 12}" y="{height - 6}" class="tick" '
+        f'text-anchor="end">{t_hi / 1e6:.1f}s</text>'
+    )
+    parts.append("</svg>")
+    return (
+        "<figure><figcaption>Per-worker job timeline "
+        "(red = failed slice)</figcaption>" + "".join(parts) + "</figure>"
+    )
+
+
+def render_sweep_report(
+    stats: dict,
+    trace_payload: dict | None = None,
+    profile_rows: "Sequence[Sequence[str]] | None" = None,
+    title: str = "repro sweep report",
+) -> str:
+    """Sweep-scope HTML report from a ``sweep.json`` stats payload
+    (:meth:`repro.obs.bus.SweepStats.to_dict`), optionally with the sweep
+    Chrome-trace payload (per-worker gantt) and a merged-profile table.
+    """
+    body: list[str] = []
+    body.append("<h2>Sweep summary</h2>")
+    lat = stats.get("latency") or {}
+    body.append(
+        "<table><thead><tr><th>jobs</th><th>ok</th><th>failed</th>"
+        "<th>resumed</th><th>wall</th><th>busy</th><th>cpu</th>"
+        "<th>workers</th><th>efficiency</th></tr></thead><tbody><tr>"
+        f"<td>{stats.get('n_jobs', 0)}</td><td>{stats.get('ok', 0)}</td>"
+        f"<td>{stats.get('failed', 0)}</td>"
+        f"<td>{stats.get('resumed', 0)}</td>"
+        f"<td>{stats.get('wall_s', 0.0):.1f}s</td>"
+        f"<td>{stats.get('busy_s', 0.0):.1f}s</td>"
+        f"<td>{stats.get('cpu_s', 0.0):.1f}s</td>"
+        f"<td>{len(stats.get('workers') or {})}</td>"
+        f"<td>{stats.get('parallel_efficiency', 0.0):.0%}</td>"
+        "</tr></tbody></table>"
+    )
+    if lat:
+        cells = "".join(
+            f"<td>{lat[k]:.2f}s</td>"
+            for k in ("p50", "p95", "p99", "mean", "max") if k in lat
+        )
+        heads = "".join(
+            f"<th>{k}</th>"
+            for k in ("p50", "p95", "p99", "mean", "max") if k in lat
+        )
+        body.append(
+            "<h2>Job latency</h2>"
+            f"<table><thead><tr>{heads}</tr></thead>"
+            f"<tbody><tr>{cells}</tr></tbody></table>"
+        )
+    if trace_payload is not None:
+        gantt = _sweep_gantt(trace_payload)
+        if gantt:
+            body.append("<h2>Worker timeline</h2>")
+            body.append(gantt)
+    phases = stats.get("phases") or {}
+    if phases:
+        rows = "".join(
+            f"<tr><td><code>{_esc(n)}</code></td>"
+            f"<td>{int(row.get('count', 0))}</td>"
+            f"<td>{row.get('total_s', 0.0):.2f}s</td></tr>"
+            for n, row in sorted(
+                phases.items(), key=lambda kv: -kv[1].get("total_s", 0)
+            )
+        )
+        body.append(
+            "<h2>Phase breakdown</h2>"
+            "<table><thead><tr><th>phase</th><th>count</th>"
+            f"<th>total</th></tr></thead><tbody>{rows}</tbody></table>"
+        )
+    cache = stats.get("cache") or {}
+    if cache:
+        body.append(
+            "<h2>Replay-cache economics</h2>"
+            f"<p class='note'>{cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0):.0%}) — "
+            f"≈{cache.get('est_saved_s', 0.0):.1f}s of alone-replay time "
+            "saved (hits × mean uncached replay − time spent on cached "
+            "probes)</p>"
+        )
+    backends = stats.get("backends") or {}
+    if backends:
+        rows = "".join(
+            f"<tr><td><code>{_esc(n)}</code></td>"
+            f"<td>{int(row.get('jobs', 0))}</td>"
+            f"<td>{row.get('total_s', 0.0):.2f}s</td></tr>"
+            for n, row in sorted(backends.items())
+        )
+        body.append(
+            "<h2>Per-backend split</h2>"
+            "<table><thead><tr><th>backend</th><th>jobs</th>"
+            f"<th>total</th></tr></thead><tbody>{rows}</tbody></table>"
+        )
+    workers = stats.get("workers") or {}
+    if workers:
+        rows = "".join(
+            f"<tr><td>{_esc(pid)}</td><td>{int(w.get('jobs', 0))}</td>"
+            f"<td>{w.get('busy_s', 0.0):.2f}s</td>"
+            f"<td>{w.get('cpu_s', 0.0):.2f}s</td>"
+            f"<td>{int(w.get('rss_peak_kb', 0))}</td></tr>"
+            for pid, w in sorted(workers.items())
+        )
+        body.append(
+            "<h2>Workers</h2>"
+            "<table><thead><tr><th>pid</th><th>jobs</th><th>busy</th>"
+            f"<th>cpu</th><th>peak RSS (kB)</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
+    stragglers = stats.get("stragglers") or []
+    if stragglers:
+        rows = "".join(
+            f"<tr><td>{s.get('job')}</td><td>{_esc(s.get('key', '?'))}</td>"
+            f"<td>{s.get('dur_s', 0.0):.2f}s</td>"
+            f"<td>{s.get('ratio', 0.0):.1f}×</td>"
+            f"<td><code>{_esc(s.get('dominant_phase', '?'))}</code> "
+            f"({s.get('phase_s', 0.0):.2f}s)</td></tr>"
+            for s in stragglers
+        )
+        body.append(
+            "<h2>Stragglers (&gt; 2× p50)</h2>"
+            "<table><thead><tr><th>job</th><th>key</th><th>duration</th>"
+            f"<th>× p50</th><th>dominant phase</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
+    failures = stats.get("failures") or []
+    if failures:
+        rows = "".join(
+            f"<tr><td>{f.get('job')}</td><td>{_esc(f.get('key', '?'))}</td>"
+            f"<td>{_esc(f.get('kind', '?'))}</td>"
+            f"<td>{f.get('attempts', 1)}</td></tr>"
+            for f in failures
+        )
+        body.append(
+            "<h2>Failures</h2>"
+            "<table><thead><tr><th>job</th><th>key</th><th>kind</th>"
+            f"<th>attempts</th></tr></thead><tbody>{rows}</tbody></table>"
+        )
+    if profile_rows:
+        rows = "".join(
+            "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in r) + "</tr>"
+            for r in profile_rows
+        )
+        body.append(
+            "<h2>Sweep-wide hot functions (merged cProfile)</h2>"
+            "<table><thead><tr><th>calls</th><th>tottime</th>"
+            f"<th>cumtime</th><th>function</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
+    return _PAGE.substitute(
+        title=_esc(title),
+        subtitle="generated by repro.obs.bus — cross-worker sweep telemetry",
+        body="\n".join(body),
+    )
+
+
+def export_sweep_report(
+    path: str | os.PathLike,
+    stats: dict,
+    trace_payload: dict | None = None,
+    profile_rows: "Sequence[Sequence[str]] | None" = None,
+    title: str = "repro sweep report",
+) -> str:
+    html = render_sweep_report(
+        stats, trace_payload=trace_payload, profile_rows=profile_rows,
+        title=title,
+    )
+    with open(path, "w") as fh:
+        fh.write(html)
+    return html
+
+
 def render_degradation_report(result: "DegradationResult") -> str:
     """Degradation panel: DASE error and DASE-Fair unfairness vs noise σ.
 

@@ -12,8 +12,8 @@ as registry gauges/histograms and Chrome counter events, so the HTML run
 report, the Perfetto counter tracks, and the CSV export all describe the
 same recording.
 
-(Moved here from ``repro.harness.telemetry``, which remains as a
-deprecated import shim.)
+(Moved here from ``repro.harness.telemetry``; the deprecated import shim
+has been removed — ``repro.harness`` still re-exports both names.)
 """
 
 from __future__ import annotations

@@ -246,3 +246,79 @@ def test_run_backend_end_to_end_matches_reference(capsys):
         ["run", "SD", "SB", "--cycles", "30000", "--backend", "vectorized"]
     ) == 0
     assert capsys.readouterr().out == ref_out
+
+
+def test_fig_parsers_accept_sweep_trace_flags():
+    args = build_parser().parse_args(
+        ["fig5", "--limit", "1", "--sweep-trace", "/tmp/st",
+         "--profile-sweep"]
+    )
+    assert args.sweep_trace == "/tmp/st"
+    assert args.profile_sweep is True
+    args = build_parser().parse_args(["fig5"])
+    assert args.sweep_trace is None and args.profile_sweep is False
+
+
+def test_profile_sweep_requires_sweep_trace():
+    with pytest.raises(SystemExit, match="requires --sweep-trace"):
+        main(["fig5", "--limit", "1", "--profile-sweep"])
+
+
+def _small_sweep_artifacts(tmp_path, profile=False):
+    """Produce real sweep artifacts cheaply: a ChaosJob sweep through
+    run_jobs with the bus on, then the CLI artifact writer."""
+    from repro.cli import _write_sweep_artifacts
+    from repro.faults import ChaosJob
+    from repro.harness.parallel import run_jobs
+
+    out = tmp_path / "sweep"
+    bus_dir = out / "bus"
+    jobs = [ChaosJob(name=f"j{i}", payload=i) for i in range(3)]
+    outs = run_jobs(jobs, n_jobs=1, bus=bus_dir, profile=profile)
+    assert all(o.ok for o in outs)
+    _write_sweep_artifacts(str(out), str(bus_dir), profile)
+    return out
+
+
+def test_sweep_artifacts_and_inspect_sweep(tmp_path, capsys):
+    out = _small_sweep_artifacts(tmp_path, profile=True)
+    assert (out / "trace.json").is_file()
+    assert (out / "sweep.json").is_file()
+    assert (out / "report.html").is_file()
+    assert (out / "profile.pstats").is_file()
+    capsys.readouterr()
+
+    assert main(["inspect", str(out), "--sweep"]) == 0
+    text = capsys.readouterr().out
+    assert "3 jobs, 3 ok, 0 failed" in text
+    assert "job latency" in text and "p95" in text
+
+    assert main(["inspect", str(out / "sweep.json")]) == 0
+    assert "3 jobs" in capsys.readouterr().out
+
+    assert main(["inspect", str(out), "--sweep", "--json"]) == 0
+    import json as _json
+
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "sweep"
+    assert payload["n_jobs"] == 3
+
+
+def test_diff_two_sweep_manifests_cli(tmp_path, capsys):
+    import json as _json
+
+    a = _small_sweep_artifacts(tmp_path / "a")
+    # The same sweep re-run elsewhere: only wall-clock and worker noise
+    # differ, and the auto-applied sweep ignore set skips all of it.
+    payload = _json.loads((a / "sweep.json").read_text())
+    payload["wall_s"] = payload["wall_s"] + 100.0
+    payload["workers"] = {"999": {"jobs": 3, "busy_s": 1.0, "cpu_s": 1.0,
+                                  "rss_peak_kb": 1}}
+    b = tmp_path / "b.json"
+    b.write_text(_json.dumps(payload))
+    assert main(["diff", str(a / "sweep.json"), str(b)]) == 0
+
+    # But a failure-count regression is drift (exit code 1).
+    payload["ok"], payload["failed"] = 2, 1
+    b.write_text(_json.dumps(payload))
+    assert main(["diff", str(a / "sweep.json"), str(b)]) == 1

@@ -158,3 +158,82 @@ def test_jsonl_diff_pairs_by_key(tmp_path):
     )
     res = diff_paths(a, b)
     assert [d.path for d in res.drifts] == ["NN+CS.ok"]
+
+
+# ---------------------------------------------------- sweep-stats diffing
+
+
+def _sweep_payload(**over):
+    base = {
+        "schema": "repro.obs.sweep/1",
+        "n_jobs": 4, "ok": 4, "failed": 0, "incomplete": 0, "resumed": 0,
+        "wall_s": 10.0, "busy_s": 18.0, "cpu_s": 17.0,
+        "parallel_efficiency": 0.9,
+        "latency": {"p50": 4.0, "p95": 6.0, "p99": 6.4,
+                    "mean": 4.5, "max": 6.5},
+        "phases": {"replay": {"count": 8, "total_s": 9.0},
+                   "simulate": {"count": 4, "total_s": 8.0}},
+        "cache": {"hits": 6, "misses": 2, "stores": 2,
+                  "hit_rate": 0.75, "est_saved_s": 5.0},
+        "backends": {"reference": {"jobs": 4, "total_s": 18.0}},
+        "workers": {"101": {"jobs": 4, "busy_s": 18.0, "cpu_s": 17.0,
+                            "rss_peak_kb": 40000}},
+        "stragglers": [], "failures": [],
+    }
+    base.update(over)
+    return base
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_sweep_diff_ignores_wallclock_and_worker_noise(tmp_path):
+    # Same sweep re-run: different pids, wall time, efficiency, RSS —
+    # none of which is drift between two sweep-stats manifests.
+    a = _write(tmp_path / "a.json", _sweep_payload())
+    b = _write(tmp_path / "b.json", _sweep_payload(
+        wall_s=20.0, busy_s=19.5, cpu_s=18.0, parallel_efficiency=0.5,
+        workers={"202": {"jobs": 2, "busy_s": 9.0, "cpu_s": 8.5,
+                         "rss_peak_kb": 39000},
+                 "203": {"jobs": 2, "busy_s": 10.5, "cpu_s": 9.5,
+                         "rss_peak_kb": 41000}},
+    ))
+    res = diff_paths(a, b, rel_tol=0.2)
+    assert res.identical, [d.path for d in res.drifts]
+
+
+def test_sweep_diff_catches_latency_and_cache_drift(tmp_path):
+    a = _write(tmp_path / "a.json", _sweep_payload())
+    # p95 regressed 3x and the cache hit rate collapsed: both must trip
+    # even though ordinary run diffs ignore the "cache" subtree.
+    b = _write(tmp_path / "b.json", _sweep_payload(
+        latency={"p50": 4.1, "p95": 18.0, "p99": 19.0,
+                 "mean": 7.0, "max": 20.0},
+        cache={"hits": 1, "misses": 7, "stores": 7,
+               "hit_rate": 0.125, "est_saved_s": 0.4},
+    ))
+    res = diff_paths(a, b, rel_tol=0.2)
+    assert not res.identical
+    paths = {d.path for d in res.drifts}
+    assert "latency.p95" in paths
+    assert "cache.hit_rate" in paths
+    assert "latency.p50" not in paths  # within the 20% tolerance
+
+
+def test_sweep_diff_custom_ignore_disables_auto_switch(tmp_path):
+    a = _write(tmp_path / "a.json", _sweep_payload())
+    b = _write(tmp_path / "b.json", _sweep_payload(wall_s=99.0))
+    # An explicit ignore set is respected verbatim: wall_s now drifts.
+    res = diff_paths(a, b, ignore=frozenset({"ts"}))
+    assert not res.identical
+    assert {d.path for d in res.drifts} == {"wall_s"}
+
+
+def test_sweep_diff_counts_are_exact(tmp_path):
+    a = _write(tmp_path / "a.json", _sweep_payload())
+    b = _write(tmp_path / "b.json", _sweep_payload(ok=3, failed=1))
+    res = diff_paths(a, b, rel_tol=0.2)
+    assert not res.identical
+    assert {d.path for d in res.drifts} >= {"ok", "failed"}

@@ -3,7 +3,7 @@ telemetry attach/detach, and the process-wide enable/disable switch."""
 
 import importlib
 import json
-import warnings
+import sys
 
 import pytest
 
@@ -299,17 +299,13 @@ class TestTelemetryObs:
         assert counts["ipc"] == 3 * 2
         assert counts["alpha"] == 3 * 2
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
-    def test_harness_shim_warns_and_reexports(self):
-        import repro.harness.telemetry as shim
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.reload(shim)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        ), "importing repro.harness.telemetry must warn DeprecationWarning"
-        assert shim.Telemetry is Telemetry
+    def test_harness_shim_removed(self):
+        # The deprecated repro.harness.telemetry shim has completed its
+        # DeprecationWarning cycle and is gone; the canonical home is
+        # repro.obs.telemetry (re-exported by repro.harness).
+        sys.modules.pop("repro.harness.telemetry", None)
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.harness.telemetry")
 
     def test_harness_package_reexports(self):
         from repro.harness import Sample, Telemetry as HarnessTelemetry

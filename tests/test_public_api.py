@@ -49,7 +49,7 @@ def test_top_level_exports():
         "repro.harness.runner",
         "repro.harness.experiments",
         "repro.harness.report",
-        "repro.harness.telemetry",
+        "repro.obs.bus",
     ],
 )
 def test_module_imports_and_has_docstring(module):
