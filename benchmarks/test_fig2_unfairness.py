@@ -5,9 +5,10 @@ from repro.harness.persist import save_result
 from repro.harness.report import render_fig2
 
 
-def test_fig2_unfairness_and_bandwidth(once):
+def test_fig2_unfairness_and_bandwidth(once, store_record):
     res = once(fig2_unfairness)
     save_result("fig2_unfairness", res)
+    store_record("fig2", res.to_dict(), pairs=res.combos)
     print()
     print(render_fig2(res))
 

@@ -5,9 +5,10 @@ from repro.harness.persist import save_result
 from repro.harness.report import render_fig3
 
 
-def test_fig3_performance_vs_service_rate(once):
+def test_fig3_performance_vs_service_rate(once, store_record):
     res = once(fig3_service_rate)
     save_result("fig3_service_rate", res)
+    store_record("fig3", res.to_dict())
     print()
     print(render_fig3(res))
     # The paper's observation: for a memory-intensive kernel, performance

@@ -14,7 +14,8 @@ import sys
 
 from repro import GPU, LaunchedKernel
 from repro.core import DASE
-from repro.harness import Telemetry, scaled_config
+from repro.harness import scaled_config
+from repro.obs import Telemetry
 from repro.policies import DASEFairPolicy
 from repro.workloads import SUITE
 

@@ -36,8 +36,13 @@ def _cmd_list(args) -> int:
                       "fairness vs arrival rate (repro.opensys)"),
         ("run", "run an arbitrary workload: python -m repro run SD SB"),
         ("trace", "record a traced run: python -m repro trace SD SB"),
-        ("inspect", "summarize a recorded run or Chrome trace"),
+        ("inspect", "summarize any recorded artifact (kind auto-detected "
+                    "from its schema tag)"),
         ("diff", "compare two recorded runs or sweep logs field-by-field"),
+        ("store", "hash-addressed results store: list/show/record/"
+                  "import/gc/diff scenario records"),
+        ("trajectory", "cross-run accuracy/fairness/perf series per "
+                       "scenario from a results store"),
     ]
     from repro.harness.report import table
 
@@ -169,29 +174,57 @@ def _run_fig(args, ex, rp, name: str) -> int:
     # memoise alone replays under --cache-dir (see docs/parallel-harness.md).
     par = {"jobs": args.jobs, "cache_dir": args.cache_dir,
            "backend": _resolve_backend(args)}
+    # --seed pins the simulation seed (figure drivers default to the
+    # GPUConfig seed); --store records the typed result payload under its
+    # ScenarioSpec identity (see docs/results-store.md).  fig-degradation
+    # and fig-churn interpret --seed as their fault/arrival seed instead.
+    seed = getattr(args, "seed", None)
+    cfg = None
+    if seed is not None and name not in ("fig-degradation", "fig-churn",
+                                         "fig8b"):
+        from repro.harness import scaled_config
+
+        cfg = scaled_config(seed=seed)
+    record = None  # (payload, scenario-builder kwargs)
     if name == "fig2":
-        print(rp.render_fig2(ex.fig2_unfairness(**par)))
+        res = ex.fig2_unfairness(config=cfg, **par)
+        print(rp.render_fig2(res))
+        record = (res.to_dict(), {"pairs": res.combos})
     elif name == "fig3":
-        print(rp.render_fig3(ex.fig3_service_rate()))  # inline, no sweep
+        res = ex.fig3_service_rate(config=cfg)  # inline, no sweep
+        print(rp.render_fig3(res))
+        record = (res.to_dict(), {})
     elif name == "fig4":
-        print(rp.render_fig4(ex.fig4_mbb_requests()))  # inline, no sweep
+        res = ex.fig4_mbb_requests(config=cfg)  # inline, no sweep
+        print(rp.render_fig4(res))
+        record = (res.to_dict(), {"partners": sorted(res.shared_rates)})
     elif name == "fig5":
-        res = ex.fig5_two_app_accuracy(limit=args.limit, **par)
+        res = ex.fig5_two_app_accuracy(limit=args.limit, config=cfg, **par)
         print(rp.render_accuracy(res, "Fig 5 — two-application error"))
+        record = (res.to_dict(), {"pairs": res.workloads})
     elif name == "fig6":
-        res = ex.fig6_four_app_accuracy(count=args.limit, **par)
+        res = ex.fig6_four_app_accuracy(count=args.limit, config=cfg, **par)
         print(rp.render_accuracy(res, "Fig 6 — four-application error"))
+        record = (res.to_dict(), {"pairs": res.workloads})
     elif name == "fig7":
-        two = ex.fig5_two_app_accuracy(limit=args.limit, **par)
-        print(rp.render_distribution(ex.fig7_error_distribution(two)))
+        two = ex.fig5_two_app_accuracy(limit=args.limit, config=cfg, **par)
+        dist = ex.fig7_error_distribution(two)
+        print(rp.render_distribution(dist))
+        record = (dist, {"pairs": two.workloads})
     elif name == "fig8a":
-        print(rp.render_sensitivity(
-            ex.fig8a_sm_allocation_sensitivity(**par), "Fig 8a — SM split"))
+        res = ex.fig8a_sm_allocation_sensitivity(config=cfg, **par)
+        print(rp.render_sensitivity(res, "Fig 8a — SM split"))
+        record = (res.to_dict(), {"splits": res.labels})
     elif name == "fig8b":
-        print(rp.render_sensitivity(
-            ex.fig8b_sm_count_sensitivity(**par), "Fig 8b — SM count"))
+        res = ex.fig8b_sm_count_sensitivity(seed=seed, **par)
+        print(rp.render_sensitivity(res, "Fig 8b — SM count"))
+        record = (res.to_dict(), {"sm_counts": res.labels})
     elif name == "fig9":
-        print(rp.render_fig9(ex.fig9_dase_fair(**par)))
+        res = ex.fig9_dase_fair(config=cfg, **par)
+        print(rp.render_fig9(res))
+        record = (res.to_dict(), {
+            "pairs": [tuple(k.split("+")) for k in res.workloads],
+        })
     elif name == "fig-degradation":
         sigmas = None
         if args.sigmas:
@@ -206,6 +239,7 @@ def _run_fig(args, ex, rp, name: str) -> int:
         print(rp.render_degradation(res))
         if args.out:
             _write_degradation_artifacts(args.out, res)
+        record = (res.to_dict(), {"pair": res.pair, "sigmas": res.sigmas})
     elif name == "fig-churn":
         from repro.workloads import APP_NAMES
 
@@ -230,9 +264,42 @@ def _run_fig(args, ex, rp, name: str) -> int:
         print(rp.render_churn(res))
         if args.out:
             _write_churn_artifacts(args.out, res)
+        record = (res.to_dict(), {
+            "base": res.base, "pool": res.pool, "rates": res.rates,
+        })
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
+    if getattr(args, "store", None) and record is not None:
+        _record_figure(args, name, *record)
     return 0
+
+
+def _record_figure(args, name: str, payload, scenario_kw: dict) -> None:
+    """Store one figure driver's typed payload under its scenario id."""
+    from repro.harness import scaled_config
+    from repro.harness.replay_cache import config_fingerprint
+    from repro.store import PAYLOAD_SCHEMAS, ResultStore, scenario_for
+
+    seed = getattr(args, "seed", None)
+    spec = scenario_for(
+        name, seed=seed, backend=getattr(args, "backend", None),
+        **scenario_kw,
+    )
+    overrides = {"seed": seed} if seed is not None else {}
+    provenance = {
+        "config_fingerprint": config_fingerprint(scaled_config(**overrides)),
+    }
+    try:
+        rec = ResultStore(args.store).record(
+            spec, payload, PAYLOAD_SCHEMAS[name], provenance=provenance
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro {name}: {exc}")
+    print(
+        f"\nrecorded {name} into {args.store} "
+        f"(scenario {spec.scenario_id()[:12]}, record {rec.record_id[:12]})",
+        file=sys.stderr,
+    )
 
 
 def _write_degradation_artifacts(out_dir: str, res) -> None:
@@ -493,6 +560,165 @@ def _cmd_diff(args) -> int:
     return 0 if res.identical else 1
 
 
+def _open_store(args):
+    from repro.store import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _cmd_store_list(args) -> int:
+    import json
+
+    from repro.harness.report import table
+
+    try:
+        store = _open_store(args)
+        rows = store.scenarios()
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    if args.json:
+        print(json.dumps({"scenarios": rows}, indent=1, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"store {args.store} holds no recordings")
+        return 0
+    print(table(
+        ["scenario", "id", "payload schema", "records", "last recorded"],
+        [
+            [r["scenario_name"], r["scenario_id"][:12], r["payload_schema"],
+             r["records"], r["last"] or "-"]
+            for r in rows
+        ],
+    ))
+    return 0
+
+
+def _cmd_store_show(args) -> int:
+    import json
+
+    from repro.obs.inspect import summarize_store_record
+
+    try:
+        rec = _open_store(args).load(args.ref)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    if args.payload:
+        print(_open_store(args).export_payload(args.ref), end="")
+    elif args.json:
+        print(json.dumps(rec.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(summarize_store_record(rec.to_dict()))
+    return 0
+
+
+def _cmd_store_record(args) -> int:
+    import json
+
+    from repro.store import PAYLOAD_SCHEMAS, scenario_for
+
+    try:
+        with open(args.payload) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    schema = args.schema or PAYLOAD_SCHEMAS.get(args.scenario)
+    if schema is None:
+        raise SystemExit(
+            f"repro store: no payload schema registered for scenario "
+            f"{args.scenario!r}; pass --schema"
+        )
+    try:
+        spec = scenario_for(args.scenario, seed=args.seed,
+                            backend=args.backend)
+        rec = _open_store(args).record(spec, payload, schema)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    print(f"recorded {args.scenario} → record {rec.record_id[:12]} "
+          f"(scenario {rec.scenario_id[:12]})")
+    return 0
+
+
+def _cmd_store_import(args) -> int:
+    try:
+        rec = _open_store(args).import_legacy(
+            args.file, scenario_name=args.name, payload_schema=args.schema
+        )
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    print(f"imported {args.file} → record {rec.record_id[:12]} "
+          f"(scenario {rec.scenario.get('name')}, "
+          f"schema {rec.payload_schema})")
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    try:
+        stats = _open_store(args).gc(keep=args.keep)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    print(f"gc: {stats['entries']} index entries kept, "
+          f"{stats['pruned']} pruned, "
+          f"{stats['orphans_removed']} orphan record files removed")
+    return 0
+
+
+def _cmd_store_diff(args) -> int:
+    import json
+
+    from repro.obs.diff import STORE_IGNORE, diff_payloads, navigate
+
+    ignore = (
+        frozenset(k for k in args.ignore.split(",") if k)
+        if args.ignore is not None
+        else STORE_IGNORE
+    )
+    try:
+        store = _open_store(args)
+        a = store.load(args.a).to_dict()
+        b = store.load(args.b).to_dict()
+        if args.only:
+            a = navigate(a, args.only)
+            b = navigate(b, args.only)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro store: {exc}")
+    suffix = f" :: {args.only}" if args.only else ""
+    res = diff_payloads(a, b, args.a + suffix, args.b + suffix,
+                        rel_tol=args.rel_tol, ignore=ignore)
+    if args.json:
+        print(json.dumps(res.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(res.render())
+    return 0 if res.identical else 1
+
+
+def _cmd_trajectory(args) -> int:
+    import json
+
+    from repro.store import (
+        export_trajectory_report,
+        trajectory,
+        trajectory_table,
+    )
+
+    try:
+        store = _open_store(args)
+        if args.json:
+            print(json.dumps(trajectory(store, args.scenario),
+                             indent=1, sort_keys=True))
+        else:
+            print(trajectory_table(store, args.scenario))
+        if args.html:
+            export_trajectory_report(
+                args.html, store, scenario=args.scenario,
+                bench_path=args.bench,
+            )
+            print(f"\ntrajectory dashboard written to {args.html}",
+                  file=sys.stderr)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro trajectory: {exc}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -563,6 +789,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cProfile every sweep job and merge the dumps "
                              "into DIR/profile.pstats plus a hot-function "
                              "table (requires --sweep-trace)")
+        fp.add_argument("--store", default=None, metavar="DIR",
+                        help="record the typed result payload into the "
+                             "hash-addressed results store under DIR "
+                             "(see docs/results-store.md)")
+        if fig not in ("fig-degradation", "fig-churn"):
+            fp.add_argument("--seed", type=int, default=None,
+                            help="simulation seed (default: the GPUConfig "
+                                 "default); part of the scenario id under "
+                                 "--store")
         if fig == "fig-degradation":
             fp.add_argument("--pair", nargs=2, default=None,
                             metavar=("APP1", "APP2"),
@@ -658,11 +893,16 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=_cmd_trace)
 
     ins = sub.add_parser(
-        "inspect", help="summarize a recorded run dir, run.json, "
-                        "sweep.json, or Chrome trace JSON"
+        "inspect", help="summarize any recorded artifact — run/sweep "
+                        "manifests, audit dumps, diff verdicts, bus "
+                        "channels, store records/indexes, Chrome traces; "
+                        "the kind is auto-detected from the embedded "
+                        "schema tag"
     )
-    ins.add_argument("path", help="run directory, run.json, sweep.json, "
-                                  "or trace.json")
+    ins.add_argument("path", help="artifact file or directory (run dir, "
+                                  "store dir, bus dir, run.json, "
+                                  "sweep.json, audit.json, index.json, "
+                                  "bus-*.jsonl, trace.json, ...)")
     ins.add_argument("--json", action="store_true",
                      help="emit the machine-readable inspection payload")
     ins.add_argument("--sweep", action="store_true",
@@ -690,6 +930,117 @@ def build_parser() -> argparse.ArgumentParser:
     df.add_argument("--json", action="store_true",
                     help="emit the machine-readable diff verdict")
     df.set_defaults(func=_cmd_diff)
+
+    st = sub.add_parser(
+        "store", help="hash-addressed results store: list, show, record, "
+                      "import, gc, and diff scenario records "
+                      "(see docs/results-store.md)"
+    )
+    stsub = st.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(sp):
+        sp.add_argument("--store", default="results/store", metavar="DIR",
+                        help="store directory (default: results/store)")
+
+    sl = stsub.add_parser("list", help="one row per recorded scenario")
+    _store_common(sl)
+    sl.add_argument("--json", action="store_true",
+                    help="emit the machine-readable scenario table")
+    sl.set_defaults(func=_cmd_store_list)
+
+    ss = stsub.add_parser(
+        "show", help="summarize one record (REF = record id prefix or "
+                     "scenario@N, e.g. fig2@-1)"
+    )
+    _store_common(ss)
+    ss.add_argument("ref", help="record id (prefix) or scenario@N")
+    ss.add_argument("--json", action="store_true",
+                    help="emit the full record payload")
+    ss.add_argument("--payload", action="store_true",
+                    help="emit only the figure payload, byte-identical to "
+                         "the legacy per-figure JSON format")
+    ss.set_defaults(func=_cmd_store_show)
+
+    sr = stsub.add_parser(
+        "record", help="record a JSON payload file under a registered "
+                       "scenario identity"
+    )
+    _store_common(sr)
+    sr.add_argument("--scenario", required=True,
+                    help="registered scenario name (fig2, fig9, ...)")
+    sr.add_argument("--payload", required=True, metavar="FILE",
+                    help="JSON payload file to record")
+    sr.add_argument("--schema", default=None, metavar="TAG",
+                    help="payload schema tag (default: the scenario's "
+                         "registered schema)")
+    sr.add_argument("--seed", type=int, default=None,
+                    help="simulation seed the payload was produced with")
+    sr.add_argument("--backend", choices=("reference", "vectorized"),
+                    default=None, help="backend the payload was produced with")
+    sr.set_defaults(func=_cmd_store_record)
+
+    si = stsub.add_parser(
+        "import", help="migrate a legacy per-figure JSON artifact "
+                       "(degradation.json, churn.json, results/*.json) "
+                       "into the store"
+    )
+    _store_common(si)
+    si.add_argument("file", help="legacy JSON artifact to import")
+    si.add_argument("--name", default=None,
+                    help="scenario name for the import (default: file stem)")
+    si.add_argument("--schema", default=None, metavar="TAG",
+                    help="payload schema tag (default: repro.store.legacy/1)")
+    si.set_defaults(func=_cmd_store_import)
+
+    sg = stsub.add_parser(
+        "gc", help="remove orphan record files; --keep N prunes each "
+                   "scenario to its newest N recordings"
+    )
+    _store_common(sg)
+    sg.add_argument("--keep", type=int, default=None, metavar="N",
+                    help="keep only the newest N recordings per scenario")
+    sg.set_defaults(func=_cmd_store_gc)
+
+    sd = stsub.add_parser(
+        "diff", help="field-by-field comparison of two store records "
+                     "through the repro.obs.diff machinery; "
+                     "exit 0 = identical, 1 = drift"
+    )
+    _store_common(sd)
+    sd.add_argument("a", help="record id (prefix) or scenario@N")
+    sd.add_argument("b", help="same kinds as A")
+    sd.add_argument("--rel-tol", type=float, default=0.0, metavar="F",
+                    help="relative tolerance for numeric leaves "
+                         "(default: 0 — exact)")
+    sd.add_argument("--only", default=None, metavar="PATH",
+                    help="restrict to a dotted sub-path, e.g. "
+                         "payload.unfairness")
+    sd.add_argument("--ignore", default=None, metavar="K1,K2",
+                    help="comma-separated keys to skip (default: "
+                         "provenance + record_id + volatile bookkeeping)")
+    sd.add_argument("--json", action="store_true",
+                    help="emit the machine-readable diff verdict")
+    sd.set_defaults(func=_cmd_store_diff)
+
+    tj = sub.add_parser(
+        "trajectory", help="cross-run accuracy/fairness/perf series per "
+                           "scenario from a results store (text table + "
+                           "HTML dashboard)"
+    )
+    tj.add_argument("--store", default="results/store", metavar="DIR",
+                    help="store directory (default: results/store)")
+    tj.add_argument("--scenario", default=None,
+                    help="restrict to one scenario name or id")
+    tj.add_argument("--html", default=None, metavar="PATH",
+                    help="also render the self-contained HTML dashboard "
+                         "to PATH")
+    tj.add_argument("--bench", default="BENCH_trajectory.json",
+                    metavar="PATH",
+                    help="benchmark perf history to fold into the "
+                         "dashboard (default: BENCH_trajectory.json)")
+    tj.add_argument("--json", action="store_true",
+                    help="emit the machine-readable trajectory series")
+    tj.set_defaults(func=_cmd_trajectory)
 
     sm = sub.add_parser(
         "summarize", help="paper-vs-measured summary from results/*.json"

@@ -30,10 +30,6 @@ from repro.harness.persist import (
     save_result,
 )
 from repro.harness.replay_cache import AloneReplayCache, resolve_cache
-# Telemetry lives in repro.obs now; re-exported here for compatibility.
-# (The deprecated repro.harness.telemetry shim has been removed after a
-# full release of DeprecationWarning.)
-from repro.obs.telemetry import Sample, Telemetry
 
 __all__ = [
     "WorkloadResult",
@@ -56,8 +52,6 @@ __all__ = [
     "resolve_checkpoint",
     "AloneReplayCache",
     "resolve_cache",
-    "Telemetry",
-    "Sample",
     "save_result",
     "load_result",
     "atomic_write_json",

@@ -55,6 +55,15 @@ class Fig2Result:
     breakdown: dict[str, dict[str, float]]  # combo → {app0, app1, wasted, idle}
     sd_alone_bw: float = 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "combos": [list(c) for c in self.combos],
+            "unfairness": dict(self.unfairness),
+            "slowdowns": {k: list(v) for k, v in self.slowdowns.items()},
+            "breakdown": {k: dict(v) for k, v in self.breakdown.items()},
+            "sd_alone_bw": self.sd_alone_bw,
+        }
+
 
 def fig2_unfairness(
     combos: list[tuple[str, str]] | None = None,
@@ -106,6 +115,12 @@ class Fig3Result:
     points: list[tuple[float, float]]  # (requests/kcycle, IPC)
     correlation: float
 
+    def to_dict(self) -> dict:
+        return {
+            "points": [list(p) for p in self.points],
+            "correlation": self.correlation,
+        }
+
 
 def fig3_service_rate(
     config: GPUConfig | None = None, cycles: int | None = None
@@ -145,6 +160,12 @@ class Fig4Result:
 
     alone_rate: float  # SB alone, requests per kcycle
     shared_rates: dict[str, tuple[float, float]]  # partner → (SB, partner)
+
+    def to_dict(self) -> dict:
+        return {
+            "alone_rate": self.alone_rate,
+            "shared_rates": {k: list(v) for k, v in self.shared_rates.items()},
+        }
 
 
 def fig4_mbb_requests(
@@ -203,6 +224,29 @@ class AccuracyResult:
     def sample_count(self, model: str) -> int:
         """Number of per-app errors actually pooled for ``model``."""
         return len(self.errors[model])
+
+    def to_dict(self) -> dict:
+        def clean(v: float) -> float | None:
+            return None if v != v else v  # NaN → null in JSON records
+
+        return {
+            "workloads": [list(w) for w in self.workloads],
+            "per_workload": {
+                k: {m: clean(e) for m, e in row.items()}
+                for k, row in self.per_workload.items()
+            },
+            "mean_error": {
+                m: (mean(errs) if errs else None)
+                for m, errs in self.errors.items()
+            },
+            "distribution": {
+                m: self.distribution(m)
+                for m in self.errors if self.errors[m]
+            },
+            "samples": {m: len(errs) for m, errs in self.errors.items()},
+            "skipped": dict(self.skipped),
+            "failures": dict(self.failures),
+        }
 
 
 def estimation_accuracy(
@@ -280,6 +324,12 @@ class SensitivityResult:
     labels: list[str]
     dase_errors: dict[str, float]
 
+    def to_dict(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "dase_errors": dict(self.dase_errors),
+        }
+
 
 def fig8a_sm_allocation_sensitivity(
     splits: list[tuple[int, int]] | None = None,
@@ -307,13 +357,17 @@ def fig8b_sm_count_sensitivity(
     jobs: int | None = None,
     cache_dir: str | None = None,
     backend: str | None = None,
+    seed: int | None = None,
 ) -> SensitivityResult:
     """Fig. 8b: DASE accuracy when the GPU itself has fewer/more SMs."""
     sm_counts = sm_counts or [8, 16]
     pairs = pairs or pair_list(3 if not full_scale() else 30)
     labels, errs = [], {}
     for n in sm_counts:
-        cfg = scaled_config(n_sms=n)
+        overrides = {"n_sms": n}
+        if seed is not None:
+            overrides["seed"] = seed
+        cfg = scaled_config(**overrides)
         acc = estimation_accuracy(
             pairs, config=cfg, models=("DASE",), shared_cycles=shared_cycles,
             jobs=jobs, cache_dir=cache_dir, backend=backend,
@@ -354,6 +408,17 @@ class Fig9Result:
             for k in self.workloads
         ]
         return mean(vals)
+
+    def to_dict(self) -> dict:
+        return {
+            "workloads": list(self.workloads),
+            "unfairness_even": dict(self.unfairness_even),
+            "unfairness_fair": dict(self.unfairness_fair),
+            "hspeedup_even": dict(self.hspeedup_even),
+            "hspeedup_fair": dict(self.hspeedup_fair),
+            "mean_unfairness_improvement": self.mean_unfairness_improvement,
+            "mean_hspeedup_improvement": self.mean_hspeedup_improvement,
+        }
 
 
 def fig9_dase_fair(

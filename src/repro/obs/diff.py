@@ -61,6 +61,25 @@ SWEEP_IGNORE = (DEFAULT_IGNORE | frozenset({
     "rss_peak_kb",          # host memory
 })) - frozenset({"cache", "duration_s"})
 
+#: Extra ignores when both sides are results-store records
+#: (``repro.store.record/1``): provenance describes *when/where* the
+#: record was made (git rev, timestamps, config fingerprint of the host
+#: invocation) and ``record_id`` is derived from the payload — so a store
+#: diff gates exactly the scenario identity plus the computed payload.
+STORE_IGNORE = DEFAULT_IGNORE | frozenset({
+    "provenance",  # git rev / created_at / fingerprints: recording noise
+    "record_id",   # content hash: payload drift already shows directly
+})
+
+#: Per-schema default ignore sets, applied by :func:`diff_paths` when both
+#: sides carry the same ``schema`` tag and the caller didn't customize the
+#: ignore set.  The store record tag is a literal (importing it from
+#: :mod:`repro.store` would cycle back into :mod:`repro.obs`).
+SCHEMA_IGNORES: dict[str, frozenset[str]] = {
+    SWEEP_SCHEMA: SWEEP_IGNORE,
+    "repro.store.record/1": STORE_IGNORE,
+}
+
 
 @dataclass
 class Drift:
@@ -230,20 +249,32 @@ def navigate(payload: Any, dotted: str) -> Any:
 def load_comparable(path: str | os.PathLike) -> Any:
     """Load something diffable from ``path``:
 
-    * a directory → its ``run.json`` manifest;
+    * a directory → its ``run.json`` manifest (or ``sweep.json``, or a
+      results-store ``index.json``);
     * a ``.jsonl`` sweep log → ``{record key: record}`` so two logs pair
       by job key, not completion order;
     * any other file → parsed JSON.
 
-    Raises ValueError with a one-line message on missing or corrupt input.
+    Raises ValueError with a one-line message on missing or corrupt input
+    — a store directory whose index is corrupt or missing reports through
+    the same contract, never a traceback.
     """
     p = pathlib.Path(path)
     if p.is_dir():
-        manifest = p / "run.json"
-        if not manifest.is_file():
-            manifest = p / "sweep.json"
-        if not manifest.is_file():
-            raise ValueError(f"no run.json or sweep.json found under {p}")
+        for candidate in ("run.json", "sweep.json", "index.json"):
+            manifest = p / candidate
+            if manifest.is_file():
+                break
+        else:
+            if (p / "records").is_dir():
+                raise ValueError(
+                    f"store index {p / 'index.json'} is missing but "
+                    f"{p / 'records'} holds records — restore the index "
+                    "or re-import"
+                )
+            raise ValueError(
+                f"no run.json, sweep.json, or index.json found under {p}"
+            )
         p = manifest
     if not p.is_file():
         raise ValueError(f"{p} does not exist")
@@ -292,21 +323,22 @@ def diff_paths(
 ) -> DiffResult:
     """Load and compare two run manifests / sweep logs / JSON files.
 
-    When both sides are sweep-stats manifests (``repro.obs.sweep/1``) and
-    the caller did not customize the ignore set, :data:`SWEEP_IGNORE`
-    applies automatically, so ``repro diff sweepA sweepB --rel-tol 0.2``
-    gates latency-distribution and cache-hit-rate drift without tripping
-    on pids and wall-clock noise.
+    When both sides carry the same schema tag and the caller did not
+    customize the ignore set, the per-schema default from
+    :data:`SCHEMA_IGNORES` applies automatically: ``repro diff sweepA
+    sweepB --rel-tol 0.2`` gates latency-distribution and cache-hit-rate
+    drift without tripping on pids and wall-clock noise, and a store-
+    record diff skips provenance while gating scenario + payload.
     """
     a = load_comparable(path_a)
     b = load_comparable(path_b)
     if (
         ignore is DEFAULT_IGNORE
         and isinstance(a, dict) and isinstance(b, dict)
-        and a.get("schema") == SWEEP_SCHEMA
-        and b.get("schema") == SWEEP_SCHEMA
+        and a.get("schema") is not None
+        and a.get("schema") == b.get("schema")
     ):
-        ignore = SWEEP_IGNORE
+        ignore = SCHEMA_IGNORES.get(a["schema"], DEFAULT_IGNORE)
     if only:
         a = navigate(a, only)
         b = navigate(b, only)

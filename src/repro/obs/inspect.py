@@ -1,17 +1,21 @@
-"""Run inspection: summarize a recorded run without re-simulating.
+"""Artifact inspection: summarize any recorded artifact without re-running.
 
-``repro trace`` writes a ``run.json`` manifest next to its exports (the
-workload result, the metrics-registry snapshot, and a trace digest).
-:func:`inspect_path` renders a human-readable summary of
+:func:`inspect_path` auto-detects what a path holds from its embedded
+``schema`` tag and renders the matching summary — no kind flags needed:
 
-* a ``run.json`` manifest (or a directory containing one), or
-* a raw Chrome trace JSON (``{"traceEvents": [...]}``),
+* ``run.json`` manifest (``repro.obs.run/1``), or a directory holding one;
+* ``sweep.json`` sweep stats (``repro.obs.sweep/1``); ``--sweep`` only
+  breaks the tie when a directory holds both a run and a sweep recording;
+* ``audit.json`` model/decision audit dump (``repro.obs.audit/1``);
+* a saved diff verdict (``repro.obs.diff/1``);
+* a telemetry-bus channel (``bus-*.jsonl``) or a bus directory;
+* a results-store record, index, or store directory
+  (``repro.store.record/1`` / ``repro.store.index/1``);
+* a raw Chrome trace JSON (``{"traceEvents": [...]}``).
 
-* a sweep-stats manifest (``sweep.json`` written by ``--sweep-trace``,
-  schema ``repro.obs.sweep/1``) — pass ``--sweep`` to prefer it when a
-  directory holds both a run and a sweep recording,
-
-so a recording can be triaged from the terminal before opening Perfetto.
+Anything else — including a JSON document with an unrecognized ``schema``
+— raises a one-line :class:`ValueError` (``repro inspect`` turns it into
+a one-line error and exit 1, never a traceback).
 """
 
 from __future__ import annotations
@@ -20,9 +24,16 @@ import json
 import pathlib
 from typing import Any, Iterable, Sequence
 
-from repro.obs.bus import SWEEP_SCHEMA
+from repro.obs.bus import BUS_SCHEMA, SWEEP_SCHEMA
 
 RUN_SCHEMA = "repro.obs.run/1"
+
+#: Store schema tags, kept as literals: importing them from
+#: :mod:`repro.store` would cycle back into :mod:`repro.obs`.
+_STORE_RECORD_SCHEMA = "repro.store.record/1"
+_STORE_INDEX_SCHEMA = "repro.store.index/1"
+_DIFF_SCHEMA = "repro.obs.diff/1"
+_AUDIT_SCHEMA = "repro.obs.audit/1"
 
 
 def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -267,13 +278,178 @@ def summarize_sweep(stats: dict[str, Any]) -> str:
     return "\n".join(out)
 
 
+def summarize_audit(payload: dict[str, Any]) -> str:
+    """Summary of an ``audit.json`` dump (``repro.obs.audit/1``)."""
+    out: list[str] = []
+    summary = payload.get("summary") or {}
+    out.append(
+        f"audit: {summary.get('model_records', 0)} model records, "
+        f"{summary.get('decision_records', 0)} decision records"
+    )
+    per_model = summary.get("per_model") or {}
+    if per_model:
+        out.append(_table(
+            ["model", "records", "skipped"],
+            [
+                [m, row.get("records", 0), row.get("skipped", 0)]
+                for m, row in sorted(per_model.items())
+            ],
+        ))
+    actions = summary.get("decision_actions") or {}
+    if actions:
+        out.append("decisions: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(actions.items())
+        ))
+    reasons = summary.get("decision_reasons") or {}
+    if reasons:
+        out.append("reasons: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(reasons.items())
+        ))
+    faults = payload.get("faults") or []
+    if faults:
+        out.append(f"fault events: {len(faults)}")
+    return "\n".join(out)
+
+
+def summarize_diff(payload: dict[str, Any]) -> str:
+    """Summary of a saved diff verdict (``repro.obs.diff/1``)."""
+    drifts = payload.get("drift") or []
+    out = [
+        f"{'IDENTICAL' if payload.get('identical') else 'DRIFT'}: "
+        f"{payload.get('compared', 0)} leaves compared, "
+        f"{payload.get('ignored', 0)} ignored, {len(drifts)} drifting "
+        f"(rel tol {payload.get('rel_tol', 0):g})",
+        f"  a: {payload.get('a', '?')}",
+        f"  b: {payload.get('b', '?')}",
+    ]
+    if drifts:
+        out.append(_table(
+            ["path", "a", "b", "note"],
+            [
+                [d.get("path", "?"), d.get("a"), d.get("b"),
+                 d.get("note", "value")]
+                for d in drifts[:20]
+            ],
+        ))
+        if len(drifts) > 20:
+            out.append(f"… {len(drifts) - 20} more drifting leaves")
+    return "\n".join(out)
+
+
+def summarize_bus(records: list[dict[str, Any]]) -> str:
+    """Summary of telemetry-bus records (channel files or a bus dir)."""
+    by_tag: dict[str, int] = {}
+    pids: set[Any] = set()
+    for rec in records:
+        by_tag[rec.get("t", "?")] = by_tag.get(rec.get("t", "?"), 0) + 1
+        if "pid" in rec:
+            pids.add(rec["pid"])
+    out = [
+        f"bus: {len(records)} records from {len(pids)} worker"
+        f"{'s' if len(pids) != 1 else ''}",
+        _table(["record", "count"],
+               sorted(by_tag.items(), key=lambda kv: -kv[1])),
+    ]
+    return "\n".join(out)
+
+
+def summarize_store_record(payload: dict[str, Any]) -> str:
+    """Summary of one results-store record (``repro.store.record/1``)."""
+    scenario = payload.get("scenario") or {}
+    prov = payload.get("provenance") or {}
+    out = [
+        f"store record {str(payload.get('record_id', '?'))[:12]} · "
+        f"payload {payload.get('payload_schema', '?')}",
+        f"scenario: {scenario.get('name', '?')} ({scenario.get('kind', '?')})"
+        f" · id {str(payload.get('scenario_id', '?'))[:12]}",
+    ]
+    workloads = scenario.get("workloads") or []
+    if workloads:
+        out.append("workloads: " + ", ".join(
+            "+".join(w) for w in workloads
+        ))
+    detail = [
+        f"{k}: {scenario[k]}"
+        for k in ("policy", "backend", "seeds", "cycles")
+        if scenario.get(k) not in (None, [], ())
+    ]
+    if detail:
+        out.append(" · ".join(detail))
+    if prov:
+        out.append("provenance: " + ", ".join(
+            f"{k}={str(v)[:12]}" for k, v in sorted(prov.items())
+            if not isinstance(v, dict)
+        ))
+    from repro.store.trajectory import EXTRACTORS, _metrics_generic
+
+    extractor = EXTRACTORS.get(payload.get("payload_schema"), _metrics_generic)
+    try:
+        metrics = extractor(payload.get("payload"))
+    except (TypeError, ValueError, KeyError):
+        metrics = {}
+    if metrics:
+        out.append(_table(
+            ["metric", "value"],
+            [[m, f"{v:.4g}"] for m, v in sorted(metrics.items())],
+        ))
+    return "\n".join(out)
+
+
+def summarize_store_index(payload: dict[str, Any]) -> str:
+    """Summary of a store ``index.json`` (``repro.store.index/1``)."""
+    entries = payload.get("records") or []
+    rows: dict[str, dict[str, Any]] = {}
+    for e in entries:
+        row = rows.setdefault(e.get("scenario_id", "?"), {
+            "name": e.get("scenario_name", "?"),
+            "schema": e.get("payload_schema", "?"),
+            "n": 0,
+            "last": e.get("created_at", "-"),
+        })
+        row["n"] += 1
+        row["last"] = e.get("created_at", row["last"])
+    out = [
+        f"results store: {len(entries)} recording"
+        f"{'s' if len(entries) != 1 else ''} across {len(rows)} scenario"
+        f"{'s' if len(rows) != 1 else ''}",
+    ]
+    if rows:
+        out.append(_table(
+            ["scenario", "id", "payload schema", "records", "last recorded"],
+            [
+                [row["name"], sid[:12], row["schema"], row["n"], row["last"]]
+                for sid, row in rows.items()
+            ],
+        ))
+    return "\n".join(out)
+
+
+def _load_bus_file(p: pathlib.Path) -> list[dict[str, Any]] | None:
+    """Parse a ``.jsonl`` file as a bus channel; None when it isn't one."""
+    records: list[dict[str, Any]] = []
+    try:
+        with p.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    except (json.JSONDecodeError, OSError):
+        return None
+    if records and records[0].get("schema") == BUS_SCHEMA:
+        return records
+    return None
+
+
 def load_recorded(
     path: str, prefer: str | None = None
-) -> tuple[str, dict[str, Any]]:
-    """Load and classify what ``path`` holds: ``("run", manifest)`` for a
-    run.json manifest, ``("sweep", stats)`` for a sweep.json sweep-stats
-    manifest, ``("chrome", payload)`` for a raw Chrome trace.  For a
-    directory, run.json wins unless it is absent or ``prefer="sweep"``.
+) -> tuple[str, Any]:
+    """Load and classify what ``path`` holds, keyed on the embedded
+    ``schema`` tag: ``("run", manifest)``, ``("sweep", stats)``,
+    ``("audit", dump)``, ``("diff", verdict)``, ``("bus", records)``,
+    ``("store-record", record)``, ``("store-index", index)``, or
+    ``("chrome", payload)``.  For a directory: run.json wins unless absent
+    or ``prefer="sweep"``; a store directory resolves to its index.json; a
+    bus directory aggregates its ``bus-*.jsonl`` channels.
 
     Raises ValueError with a one-line message on missing, corrupt, or
     unrecognized input — never a traceback-worthy parse error.
@@ -282,58 +458,106 @@ def load_recorded(
     if p.is_dir():
         run = p / "run.json"
         sweep = p / "sweep.json"
+        index = p / "index.json"
         if prefer == "sweep" and sweep.is_file():
             p = sweep
         elif run.is_file():
             p = run
         elif sweep.is_file():
             p = sweep
+        elif index.is_file():
+            p = index
+        elif any(p.glob("bus-*.jsonl")):
+            from repro.obs.bus import read_bus
+
+            return "bus", read_bus(p)
+        elif (p / "records").is_dir():
+            raise ValueError(
+                f"store index {index} is missing but {p / 'records'} holds "
+                "records — restore the index or re-import"
+            )
         else:
-            raise ValueError(f"no run.json or sweep.json found under {p}")
+            raise ValueError(
+                f"no run.json, sweep.json, index.json, or bus-*.jsonl "
+                f"found under {p}"
+            )
     if not p.is_file():
         raise ValueError(f"{p} does not exist")
+    if p.suffix == ".jsonl":
+        records = _load_bus_file(p)
+        if records is not None:
+            return "bus", records
+        raise ValueError(
+            f"{p} is not a telemetry-bus channel (no {BUS_SCHEMA} meta "
+            "record on its first line)"
+        )
     try:
         with p.open() as fh:
             payload = json.load(fh)
     except json.JSONDecodeError as exc:
         raise ValueError(f"{p} is not valid JSON: {exc}") from exc
-    if isinstance(payload, dict) and payload.get("schema") == RUN_SCHEMA:
-        return "run", payload
-    if isinstance(payload, dict) and payload.get("schema") == SWEEP_SCHEMA:
-        return "sweep", payload
-    if isinstance(payload, dict) and "traceEvents" in payload:
-        return "chrome", payload
+    kinds = {
+        RUN_SCHEMA: "run",
+        SWEEP_SCHEMA: "sweep",
+        _AUDIT_SCHEMA: "audit",
+        _DIFF_SCHEMA: "diff",
+        _STORE_RECORD_SCHEMA: "store-record",
+        _STORE_INDEX_SCHEMA: "store-index",
+    }
+    if isinstance(payload, dict):
+        schema = payload.get("schema")
+        if schema in kinds:
+            return kinds[schema], payload
+        if "traceEvents" in payload:
+            return "chrome", payload
+        if schema is not None:
+            raise ValueError(
+                f"{p} carries unrecognized schema {schema!r} "
+                f"(known: {', '.join(sorted(kinds))})"
+            )
     raise ValueError(
-        f"{p} is neither a repro run manifest ({RUN_SCHEMA}), a sweep-stats "
-        f"manifest ({SWEEP_SCHEMA}), nor a Chrome trace"
+        f"{p} carries no schema tag and is not a Chrome trace "
+        f"(known schemas: {', '.join(sorted(kinds))})"
     )
 
 
 def inspect_json(path: str, prefer: str | None = None) -> dict[str, Any]:
     """Machine-readable inspection payload (``repro inspect --json``)."""
     kind, payload = load_recorded(path, prefer=prefer)
-    if kind in ("run", "sweep"):
-        return {"kind": kind, **payload}
-    events = payload.get("traceEvents", [])
-    by_name: dict[str, int] = {}
-    for ev in events:
-        if ev.get("ph") == "M":
-            continue
-        name = ev.get("name", "?")
-        by_name[name] = by_name.get(name, 0) + 1
-    return {
-        "kind": "chrome",
-        "entries": len(events),
-        "by_name": dict(sorted(by_name.items())),
-        "other_data": payload.get("otherData") or {},
-    }
+    if kind == "bus":
+        by_tag: dict[str, int] = {}
+        for rec in payload:
+            by_tag[rec.get("t", "?")] = by_tag.get(rec.get("t", "?"), 0) + 1
+        return {"kind": kind, "records": len(payload),
+                "by_tag": dict(sorted(by_tag.items()))}
+    if kind == "chrome":
+        events = payload.get("traceEvents", [])
+        by_name: dict[str, int] = {}
+        for ev in events:
+            if ev.get("ph") == "M":
+                continue
+            name = ev.get("name", "?")
+            by_name[name] = by_name.get(name, 0) + 1
+        return {
+            "kind": "chrome",
+            "entries": len(events),
+            "by_name": dict(sorted(by_name.items())),
+            "other_data": payload.get("otherData") or {},
+        }
+    return {"kind": kind, **payload}
 
 
 def inspect_path(path: str, prefer: str | None = None) -> str:
     """Dispatch on what ``path`` holds; raises ValueError when unrecognized."""
     kind, payload = load_recorded(path, prefer=prefer)
-    if kind == "run":
-        return summarize_run(payload)
-    if kind == "sweep":
-        return summarize_sweep(payload)
-    return summarize_chrome(payload)
+    summarizers = {
+        "run": summarize_run,
+        "sweep": summarize_sweep,
+        "audit": summarize_audit,
+        "diff": summarize_diff,
+        "bus": summarize_bus,
+        "store-record": summarize_store_record,
+        "store-index": summarize_store_index,
+        "chrome": summarize_chrome,
+    }
+    return summarizers[kind](payload)

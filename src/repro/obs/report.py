@@ -469,6 +469,25 @@ ${body}
 """)
 
 
+def line_chart(
+    title: str,
+    series: Sequence[dict],
+    y_label: str = "",
+    x_label: str = "cycle",
+) -> str:
+    """Public entry to the repo's standard SVG line chart (see
+    :func:`_line_chart` for the series dict shape) — used by the store's
+    trajectory dashboard so every scope shares one charting idiom."""
+    return _line_chart(title, series, y_label=y_label, x_label=x_label)
+
+
+def render_page(title: str, subtitle: str, body: str) -> str:
+    """Wrap pre-built ``body`` HTML in the repo's standard self-contained
+    page shell (inline CSS, light/dark via custom properties, no JS)."""
+    return _PAGE.substitute(title=_esc(title), subtitle=_esc(subtitle),
+                            body=body)
+
+
 def render_html_report(
     result: "WorkloadResult | None" = None,
     telemetry: "Telemetry | None" = None,

@@ -1,0 +1,336 @@
+"""Cross-run trajectory views over a :class:`~repro.store.records.ResultStore`.
+
+The longitudinal surface of the observability stack: where ``repro
+inspect`` summarizes one recording and ``repro diff`` compares two, a
+trajectory walks *every* recording of each scenario in index order and
+extracts the headline metrics the paper defends — DASE estimation error,
+unfairness, harmonic speedup — into per-scenario series.  Rendered two
+ways:
+
+* :func:`trajectory_table` — a text table per scenario (one row per
+  recording, one column per metric) for terminals and CI logs;
+* :func:`render_trajectory_report` — a self-contained HTML dashboard
+  (inline SVG sparklines in the repo's standard charting idiom, via
+  :mod:`repro.obs.report`), optionally folding in the committed
+  ``BENCH_trajectory.json`` perf history so accuracy/fairness trends and
+  benchmark trends read off one page.
+
+Metric extraction is keyed by ``payload_schema`` (:data:`EXTRACTORS`);
+unknown schemas fall back to the payload's top-level numeric scalars, so
+legacy imports still chart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any, Callable
+
+from repro.store.records import ResultStore, StoreRecord, iter_payloads
+
+
+def _mean(vals: list[float]) -> float | None:
+    return sum(vals) / len(vals) if vals else None
+
+
+def _metrics_fig2(p: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    unf = [v for v in (p.get("unfairness") or {}).values()
+           if isinstance(v, (int, float))]
+    if unf:
+        out["unfairness.mean"] = _mean(unf)
+        out["unfairness.max"] = max(unf)
+    if isinstance(p.get("sd_alone_bw"), (int, float)):
+        out["sd_alone_bw"] = p["sd_alone_bw"]
+    return out
+
+
+def _metrics_fig3(p: dict) -> dict[str, float]:
+    out = {}
+    if isinstance(p.get("correlation"), (int, float)):
+        out["correlation"] = p["correlation"]
+    return out
+
+
+def _metrics_fig4(p: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    alone = p.get("alone_rate")
+    if isinstance(alone, (int, float)):
+        out["alone_rate"] = alone
+        ratios = [
+            sum(pair) / alone
+            for pair in (p.get("shared_rates") or {}).values()
+            if alone and isinstance(pair, list) and len(pair) == 2
+        ]
+        if ratios:  # conservation: shared-sum ÷ alone ≈ 1.0
+            out["conservation.mean"] = _mean(ratios)
+    return out
+
+
+def _metrics_accuracy(p: dict) -> dict[str, float]:
+    return {
+        f"error.{m}": v
+        for m, v in (p.get("mean_error") or {}).items()
+        if isinstance(v, (int, float))
+    }
+
+
+def _metrics_distribution(p: dict) -> dict[str, float]:
+    # fig7 payload: model → {bin label → fraction}; the headline
+    # longitudinal signal is the best-bin mass (fraction of estimates
+    # within 10% of the measured slowdown).
+    out: dict[str, float] = {}
+    for model, bins in p.items():
+        if isinstance(bins, dict) and bins:
+            first = next(iter(sorted(bins)))
+            for label, frac in bins.items():
+                if label.startswith("<"):
+                    first = label
+                    break
+            if isinstance(bins.get(first), (int, float)):
+                out[f"{model}.{first}"] = bins[first]
+    return out
+
+
+def _metrics_sensitivity(p: dict) -> dict[str, float]:
+    return {
+        f"error.{label}": v
+        for label, v in (p.get("dase_errors") or {}).items()
+        if isinstance(v, (int, float))
+    }
+
+
+def _metrics_fig9(p: dict) -> dict[str, float]:
+    out = {}
+    for k in ("mean_unfairness_improvement", "mean_hspeedup_improvement"):
+        if isinstance(p.get(k), (int, float)):
+            out[k.removeprefix("mean_")] = p[k]
+    return out
+
+
+def _metrics_degradation(p: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    errs = {float(s): v for s, v in (p.get("dase_error") or {}).items()}
+    unfs = {float(s): v for s, v in (p.get("unfairness") or {}).items()}
+    if errs:
+        top = max(errs)
+        out["error.clean"] = errs.get(0.0, errs[min(errs)])
+        out[f"error.sigma{top:g}"] = errs[top]
+    if unfs:
+        top = max(unfs)
+        out[f"unfairness.sigma{top:g}"] = unfs[top]
+    if "error_monotone" in p:
+        out["error_monotone"] = 1.0 if p["error_monotone"] else 0.0
+    return out
+
+
+def _metrics_churn(p: dict) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for policy, curve in (p.get("dase_error") or {}).items():
+        vals = [v for v in curve.values() if isinstance(v, (int, float))]
+        if vals:
+            out[f"error.{policy}"] = _mean(vals)
+    if isinstance(p.get("disagreements"), list):
+        out["metric_disagreements"] = float(len(p["disagreements"]))
+    return out
+
+
+def _metrics_generic(p: Any) -> dict[str, float]:
+    """Fallback for unknown/legacy schemas: top-level numeric scalars."""
+    if not isinstance(p, dict):
+        return {}
+    return {
+        k: float(v) for k, v in p.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+#: payload schema tag → extractor(payload) → {metric name: value}.
+EXTRACTORS: dict[str, Callable[[Any], dict[str, float]]] = {
+    "repro.store.fig2/1": _metrics_fig2,
+    "repro.store.fig3/1": _metrics_fig3,
+    "repro.store.fig4/1": _metrics_fig4,
+    "repro.store.accuracy/1": _metrics_accuracy,
+    "repro.store.distribution/1": _metrics_distribution,
+    "repro.store.sensitivity/1": _metrics_sensitivity,
+    "repro.store.fig9/1": _metrics_fig9,
+    "repro.store.degradation/1": _metrics_degradation,
+    "repro.store.churn/1": _metrics_churn,
+}
+
+
+def metrics_of(record: StoreRecord) -> dict[str, float]:
+    """Headline metrics of one record, per its payload schema."""
+    extractor = EXTRACTORS.get(record.payload_schema, _metrics_generic)
+    try:
+        return extractor(record.payload)
+    except (TypeError, ValueError, KeyError):
+        return {}
+
+
+def trajectory(
+    store: ResultStore, scenario: str | None = None
+) -> dict[str, dict[str, Any]]:
+    """Per-scenario metric series over the store's recording log.
+
+    Series are grouped by scenario *name* (the registry key), not exact
+    scenario id, so replications with different seeds chart as one
+    trajectory; the per-point ``scenario_id`` stays available for drill-
+    down.  Returns ``{name: {"points": [...], "metrics": {metric:
+    [(recording#, value)]}}}``.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for entry, rec in iter_payloads(store, scenario):
+        name = entry.get("scenario_name", "?")
+        row = out.setdefault(name, {"points": [], "metrics": {}})
+        idx = len(row["points"])
+        metrics = metrics_of(rec)
+        row["points"].append({
+            "record_id": rec.record_id,
+            "scenario_id": rec.scenario_id,
+            "created_at": entry.get("created_at"),
+            "git_rev": entry.get("git_rev"),
+            "metrics": metrics,
+        })
+        for m, v in metrics.items():
+            row["metrics"].setdefault(m, []).append((idx, v))
+    return out
+
+
+def trajectory_table(
+    store: ResultStore, scenario: str | None = None
+) -> str:
+    """Text view: one block per scenario, one row per recording."""
+    from repro.obs.inspect import _table
+
+    traj = trajectory(store, scenario)
+    if not traj:
+        return "store holds no recordings" + (
+            f" of scenario {scenario!r}" if scenario else ""
+        )
+    blocks: list[str] = []
+    for name, row in traj.items():
+        metric_names = sorted(row["metrics"])
+        heads = ["#", "record", "rev"] + metric_names
+        rows = []
+        for i, pt in enumerate(row["points"]):
+            rev = (pt.get("git_rev") or "-")[:9]
+            cells = [str(i), pt["record_id"][:12], rev]
+            for m in metric_names:
+                v = pt["metrics"].get(m)
+                cells.append("-" if v is None else f"{v:.4g}")
+            rows.append(cells)
+        blocks.append(
+            f"scenario {name} ({len(rows)} recording"
+            f"{'s' if len(rows) != 1 else ''})\n" + _table(heads, rows)
+        )
+    return "\n\n".join(blocks)
+
+
+def load_bench_trajectory(
+    path: str | os.PathLike,
+) -> dict[str, list[tuple[int, float]]]:
+    """Series from the committed ``BENCH_trajectory.json`` perf history:
+    bench name → [(record#, normalized seconds)]."""
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return {}
+    try:
+        with p.open() as fh:
+            payload = json.load(fh)
+    except (json.JSONDecodeError, OSError):
+        return {}
+    series: dict[str, list[tuple[int, float]]] = {}
+    for i, rec in enumerate(payload.get("records") or []):
+        for bench, row in (rec.get("benches") or {}).items():
+            v = row.get("normalized", row.get("seconds"))
+            if isinstance(v, (int, float)):
+                series.setdefault(bench, []).append((i, float(v)))
+    return series
+
+
+def _sparkline(name: str, metric: str, points: list[tuple[int, float]],
+               slot: int) -> str:
+    from repro.obs.report import line_chart
+
+    return line_chart(
+        f"{name} · {metric}",
+        [{"label": metric, "slot": slot, "points": points}],
+        y_label=metric, x_label="recording #",
+    )
+
+
+def render_trajectory_report(
+    store: ResultStore,
+    scenario: str | None = None,
+    bench_path: str | os.PathLike | None = None,
+    title: str = "repro longitudinal trajectory",
+) -> str:
+    """Self-contained HTML dashboard: per-scenario metric sparklines plus
+    (when available) the committed benchmark perf history."""
+    from repro.obs.report import line_chart, render_page
+
+    traj = trajectory(store, scenario)
+    body: list[str] = []
+    for name, row in traj.items():
+        n = len(row["points"])
+        body.append(
+            f"<h2>scenario {name}</h2>"
+            f"<p class='note'>{n} recording{'s' if n != 1 else ''} · "
+            f"scenario ids {', '.join(sorted({pt['scenario_id'][:12] for pt in row['points']}))}"
+            "</p>"
+        )
+        for slot, (metric, points) in enumerate(sorted(row["metrics"].items())):
+            chart = _sparkline(name, metric, points, slot)
+            if chart:
+                body.append(chart)
+        # Point provenance table under each scenario.
+        rows = "".join(
+            f"<tr><td>{i}</td><td><code>{pt['record_id'][:12]}</code></td>"
+            f"<td><code>{(pt.get('git_rev') or '-')[:9]}</code></td>"
+            f"<td>{pt.get('created_at') or '-'}</td></tr>"
+            for i, pt in enumerate(row["points"])
+        )
+        body.append(
+            "<details><summary>recordings</summary>"
+            "<table><thead><tr><th>#</th><th>record</th><th>rev</th>"
+            f"<th>recorded</th></tr></thead><tbody>{rows}</tbody></table>"
+            "</details>"
+        )
+    if not traj:
+        body.append("<p class='note'>store holds no recordings yet</p>")
+    bench = load_bench_trajectory(bench_path) if bench_path else {}
+    if bench:
+        body.append("<h2>benchmark perf history (BENCH_trajectory.json)</h2>")
+        series = [
+            {"label": bench_name, "slot": slot, "points": points}
+            for slot, (bench_name, points) in enumerate(sorted(bench.items()))
+        ]
+        chart = line_chart(
+            "normalized benchmark seconds per committed record",
+            series, y_label="normalized s", x_label="record #",
+        )
+        if chart:
+            body.append(chart)
+    return render_page(
+        title,
+        "generated by repro trajectory — hash-addressed results store, "
+        "longitudinal scope",
+        "\n".join(body),
+    )
+
+
+def export_trajectory_report(
+    path: str | os.PathLike,
+    store: ResultStore,
+    scenario: str | None = None,
+    bench_path: str | os.PathLike | None = None,
+    title: str = "repro longitudinal trajectory",
+) -> str:
+    html = render_trajectory_report(
+        store, scenario=scenario, bench_path=bench_path, title=title
+    )
+    with open(path, "w") as fh:
+        fh.write(html)
+    return html

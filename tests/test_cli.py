@@ -322,3 +322,227 @@ def test_diff_two_sweep_manifests_cli(tmp_path, capsys):
     payload["ok"], payload["failed"] = 2, 1
     b.write_text(_json.dumps(payload))
     assert main(["diff", str(a / "sweep.json"), str(b)]) == 1
+
+
+# ------------------------------------------------------------------- store
+
+
+def test_store_parser_flags():
+    p = build_parser()
+    args = p.parse_args(["store", "list"])
+    assert args.store_command == "list" and args.store == "results/store"
+    args = p.parse_args(["store", "show", "fig2@-1", "--store", "/tmp/s"])
+    assert args.ref == "fig2@-1" and args.store == "/tmp/s"
+    args = p.parse_args(
+        ["store", "record", "--scenario", "fig2", "--payload", "p.json",
+         "--seed", "7"]
+    )
+    assert args.scenario == "fig2" and args.seed == 7
+    args = p.parse_args(["store", "gc", "--keep", "3"])
+    assert args.keep == 3
+    args = p.parse_args(
+        ["store", "diff", "fig2@0", "fig2@1", "--rel-tol", "0.01"]
+    )
+    assert args.a == "fig2@0" and args.b == "fig2@1"
+    args = p.parse_args(["trajectory", "--html", "t.html"])
+    assert args.html == "t.html" and args.store == "results/store"
+    assert args.bench == "BENCH_trajectory.json"
+
+
+def test_fig_parsers_accept_store_and_seed():
+    p = build_parser()
+    for fig in ("fig2", "fig5", "fig9", "fig-degradation", "fig-churn"):
+        args = p.parse_args([fig, "--store", "/tmp/s"])
+        assert args.store == "/tmp/s", fig
+        assert hasattr(args, "seed"), fig
+    assert p.parse_args(["fig2"]).store is None
+    assert p.parse_args(["fig2", "--seed", "9"]).seed == 9
+
+
+def test_store_cli_end_to_end(tmp_path, capsys):
+    import json as _json
+
+    store_dir = str(tmp_path / "store")
+    payload = {"combos": ["SD+SB"], "unfairness": {"SD+SB": 2.5},
+               "sd_alone_bw": 0.4}
+    pfile = tmp_path / "payload.json"
+    pfile.write_text(_json.dumps(payload))
+
+    assert main(["store", "list", "--store", store_dir]) == 0
+    assert "holds no recordings" in capsys.readouterr().out
+
+    assert main(["store", "record", "--store", store_dir,
+                 "--scenario", "fig2", "--payload", str(pfile),
+                 "--seed", "1"]) == 0
+    assert "recorded fig2" in capsys.readouterr().out
+
+    assert main(["store", "list", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "repro.store.fig2/1" in out
+
+    assert main(["store", "show", "fig2@-1", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "scenario" in out
+
+    assert main(["store", "show", "fig2@-1", "--store", store_dir,
+                 "--payload"]) == 0
+    exported = capsys.readouterr().out
+    assert _json.loads(exported) == payload
+    assert exported == _json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+    assert main(["store", "gc", "--store", store_dir]) == 0
+    assert "0 orphan" in capsys.readouterr().out
+
+
+def test_store_import_reexport_byte_identical_cli(tmp_path, capsys):
+    import json as _json
+
+    legacy = {"pair": ["SD", "SB"], "errors": {"clean": 11.5}}
+    src = tmp_path / "degradation.json"
+    src.write_text(_json.dumps(legacy, indent=1, sort_keys=True) + "\n")
+    store_dir = str(tmp_path / "store")
+    assert main(["store", "import", str(src), "--store", store_dir]) == 0
+    assert "imported" in capsys.readouterr().out
+    assert main(["store", "show", "degradation@-1", "--store", store_dir,
+                 "--payload"]) == 0
+    assert capsys.readouterr().out == src.read_text()
+
+
+def test_store_diff_cli_verdicts(tmp_path, capsys):
+    import json as _json
+
+    store_dir = str(tmp_path / "store")
+    pfile = tmp_path / "p.json"
+    for unf in (2.5, 2.5, 3.5):
+        pfile.write_text(_json.dumps({"combos": ["SD+SB"],
+                                      "unfairness": {"SD+SB": unf}}))
+        assert main(["store", "record", "--store", store_dir,
+                     "--scenario", "fig2", "--payload", str(pfile),
+                     "--seed", "1"]) == 0
+    capsys.readouterr()
+
+    # Identical recordings diff clean even though provenance differs:
+    # the store ignore set skips provenance and record_id.
+    assert main(["store", "diff", "fig2@0", "fig2@1",
+                 "--store", store_dir]) == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+
+    # A perturbed payload is drift (exit code 1).
+    assert main(["store", "diff", "fig2@0", "fig2@2",
+                 "--store", store_dir]) == 1
+    assert "DRIFT" in capsys.readouterr().out
+
+    # Unknown reference: the one-line error contract.
+    with pytest.raises(SystemExit) as exc:
+        main(["store", "diff", "fig2@0", "fig9@0", "--store", store_dir])
+    msg = str(exc.value)
+    assert msg.startswith("repro store:") and "\n" not in msg
+
+
+def test_store_corrupt_and_missing_index_one_line(tmp_path, capsys):
+    import json as _json
+
+    store_dir = tmp_path / "store"
+
+    # Corrupt index: every store entry point reports one line, exit 1.
+    store_dir.mkdir()
+    (store_dir / "index.json").write_text("{broken")
+    for argv in (
+        ["store", "list", "--store", str(store_dir)],
+        ["inspect", str(store_dir)],
+        ["diff", str(store_dir), str(store_dir)],
+        ["trajectory", "--store", str(store_dir)],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        msg = str(exc.value)
+        assert "not valid JSON" in msg and "\n" not in msg, argv
+
+    # Missing index but records present: same contract.
+    (store_dir / "index.json").unlink()
+    records = store_dir / "records"
+    records.mkdir()
+    (records / ("ab" * 32 + ".json")).write_text("{}")
+    for argv in (
+        ["store", "list", "--store", str(store_dir)],
+        ["diff", str(store_dir), str(store_dir)],
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        msg = str(exc.value)
+        assert "restore the index or re-import" in msg and "\n" not in msg
+
+
+def test_inspect_autodetects_store_artifacts(tmp_path, capsys):
+    import json as _json
+
+    store_dir = str(tmp_path / "store")
+    pfile = tmp_path / "p.json"
+    pfile.write_text(_json.dumps({"combos": ["SD+SB"],
+                                  "unfairness": {"SD+SB": 2.0},
+                                  "sd_alone_bw": 0.3}))
+    assert main(["store", "record", "--store", store_dir,
+                 "--scenario", "fig2", "--payload", str(pfile),
+                 "--seed", "1"]) == 0
+    capsys.readouterr()
+
+    # A store directory inspects as its index.
+    assert main(["inspect", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "store" in out and "fig2" in out
+
+    # A single record file inspects as a record summary with metrics.
+    from repro.store import ResultStore
+
+    rec = ResultStore(store_dir).load("fig2@-1")
+    rec_path = ResultStore(store_dir).record_path(rec.record_id)
+    assert main(["inspect", str(rec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "unfairness.mean" in out
+
+
+def test_trajectory_cli_table_json_and_html(tmp_path, capsys):
+    import json as _json
+
+    store_dir = str(tmp_path / "store")
+    pfile = tmp_path / "p.json"
+    for bw in (0.25, 0.30):
+        pfile.write_text(_json.dumps({"combos": ["SD+SB"],
+                                      "unfairness": {"SD+SB": 2.0},
+                                      "sd_alone_bw": bw}))
+        assert main(["store", "record", "--store", store_dir,
+                     "--scenario", "fig2", "--payload", str(pfile),
+                     "--seed", "1"]) == 0
+    capsys.readouterr()
+
+    assert main(["trajectory", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "sd_alone_bw" in out
+
+    assert main(["trajectory", "--store", store_dir, "--json"]) == 0
+    series = _json.loads(capsys.readouterr().out)
+    assert len(series["fig2"]["points"]) == 2
+
+    html = tmp_path / "traj.html"
+    assert main(["trajectory", "--store", store_dir,
+                 "--html", str(html)]) == 0
+    text = html.read_text()
+    assert "<svg" in text and "fig2" in text
+
+
+@pytest.mark.slow
+def test_fig3_store_recording_end_to_end(tmp_path, capsys):
+    """`repro fig3 --store` routes the driver's payload through the
+    registry; same scenario + seed → identical record id (zero drift)."""
+    store_dir = str(tmp_path / "store")
+    for _ in range(2):
+        assert main(["fig3", "--store", store_dir, "--seed", "1"]) == 0
+    capsys.readouterr()
+    assert main(["store", "diff", "fig3@0", "fig3@1",
+                 "--store", store_dir]) == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+    from repro.store import ResultStore
+
+    store = ResultStore(store_dir)
+    a, b = (e["record_id"] for e in store.index())
+    assert a == b

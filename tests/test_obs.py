@@ -302,16 +302,21 @@ class TestTelemetryObs:
     def test_harness_shim_removed(self):
         # The deprecated repro.harness.telemetry shim has completed its
         # DeprecationWarning cycle and is gone; the canonical home is
-        # repro.obs.telemetry (re-exported by repro.harness).
+        # repro.obs.telemetry.
         sys.modules.pop("repro.harness.telemetry", None)
         with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.harness.telemetry")
 
-    def test_harness_package_reexports(self):
-        from repro.harness import Sample, Telemetry as HarnessTelemetry
+    def test_harness_reexports_removed(self):
+        # The compatibility re-exports (`from repro.harness import
+        # Telemetry, Sample`) completed their deprecation cycle too:
+        # repro.obs is the only import path.
+        import repro.harness as harness
 
-        assert HarnessTelemetry is Telemetry
-        assert Sample is repro.obs.Sample
+        assert not hasattr(harness, "Telemetry")
+        assert not hasattr(harness, "Sample")
+        assert "Telemetry" not in harness.__all__
+        assert "Sample" not in harness.__all__
 
 
 # --------------------------------------------------------- run_workload glue

@@ -221,8 +221,12 @@ class TestSummaries:
     def test_inspect_path_rejects_unrecognized(self, tmp_path):
         junk = tmp_path / "junk.json"
         junk.write_text('{"hello": 1}')
-        with pytest.raises(ValueError, match="neither"):
+        with pytest.raises(ValueError, match="no schema tag"):
             inspect_path(str(junk))
+        tagged = tmp_path / "tagged.json"
+        tagged.write_text('{"schema": "acme.mystery/9"}')
+        with pytest.raises(ValueError, match="unrecognized schema"):
+            inspect_path(str(tagged))
         empty = tmp_path / "empty"
         empty.mkdir()
         with pytest.raises(ValueError, match="no run.json"):

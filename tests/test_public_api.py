@@ -50,6 +50,10 @@ def test_top_level_exports():
         "repro.harness.experiments",
         "repro.harness.report",
         "repro.obs.bus",
+        "repro.store",
+        "repro.store.records",
+        "repro.store.registry",
+        "repro.store.trajectory",
     ],
 )
 def test_module_imports_and_has_docstring(module):
@@ -59,7 +63,7 @@ def test_module_imports_and_has_docstring(module):
 
 def test_subpackage_all_exports_resolve():
     for pkg_name in ("repro.sim", "repro.core", "repro.policies",
-                     "repro.workloads", "repro.harness"):
+                     "repro.workloads", "repro.harness", "repro.store"):
         pkg = importlib.import_module(pkg_name)
         for name in pkg.__all__:
             assert hasattr(pkg, name), f"{pkg_name}.{name}"

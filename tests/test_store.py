@@ -1,0 +1,380 @@
+"""Tests for the longitudinal results store: scenario identity,
+hash-addressed records, legacy import round-trips, and trajectories."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.store import (
+    INDEX_SCHEMA,
+    LEGACY_SCHEMA,
+    PAYLOAD_SCHEMAS,
+    RECORD_SCHEMA,
+    SCENARIOS,
+    ResultStore,
+    ScenarioSpec,
+    canonical_json,
+    content_id,
+    iter_payloads,
+    metrics_of,
+    scenario_for,
+    trajectory,
+)
+
+PAYLOAD = {"combos": ["SD+SB"], "unfairness": {"SD+SB": 2.5}, "sd_alone_bw": 0.4}
+
+
+def spec(**overrides):
+    base = dict(
+        name="fig2", kind="unfairness-baseline",
+        workloads=(("SD", "SB"),), policy=None, faults=(), arrivals=(),
+        backend=None, seeds=(1, 2), cycles=240_000, params=(("x", 1),),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ------------------------------------------------------------ scenario ids
+
+
+class TestScenarioIdentity:
+    def test_same_spec_same_id(self):
+        assert spec().scenario_id() == spec().scenario_id()
+
+    def test_id_is_sha256_hex(self):
+        sid = spec().scenario_id()
+        assert len(sid) == 64
+        int(sid, 16)  # must not raise
+
+    def test_canonical_round_trips(self):
+        s = spec()
+        again = ScenarioSpec.from_canonical(s.canonical())
+        assert again == s
+        assert again.scenario_id() == s.scenario_id()
+
+    def test_id_of_matches_scenario_id(self):
+        s = spec()
+        assert ScenarioSpec.id_of(s.canonical()) == s.scenario_id()
+
+    def test_params_order_immaterial(self):
+        a = spec(params=(("a", 1), ("b", 2)))
+        b = spec(params=(("b", 2), ("a", 1)))
+        assert a.scenario_id() == b.scenario_id()
+
+    def test_with_seed(self):
+        s = spec().with_seed(9)
+        assert s.seeds == (9,)
+        assert s.scenario_id() != spec().scenario_id()
+
+    def test_registry_covers_every_figure(self):
+        assert set(SCENARIOS) == set(PAYLOAD_SCHEMAS)
+
+    def test_scenario_for_unknown_is_one_line_error(self):
+        with pytest.raises(ValueError, match="unknown scenario 'nope'"):
+            scenario_for("nope")
+
+    def test_registered_builders_are_deterministic(self):
+        for name in SCENARIOS:
+            a = scenario_for(name, seed=3)
+            b = scenario_for(name, seed=3)
+            assert a.scenario_id() == b.scenario_id(), name
+            assert a.name == name
+
+
+# --------------------------------------------------- hypothesis properties
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+seed_lists = st.lists(
+    st.integers(min_value=0, max_value=2**31 - 1), min_size=1, max_size=6
+)
+
+# One mutation per ScenarioSpec field: each must change the scenario id.
+FIELD_MUTATIONS = {
+    "name": lambda s: spec(name=s.name + "x"),
+    "kind": lambda s: spec(kind=s.kind + "x"),
+    "workloads": lambda s: spec(workloads=s.workloads + (("QR",),)),
+    "policy": lambda s: spec(policy="dase_fair"),
+    "faults": lambda s: spec(faults=s.faults + (0.1,)),
+    "arrivals": lambda s: spec(arrivals=s.arrivals + (0.5,)),
+    "backend": lambda s: spec(backend="vectorized"),
+    "seeds": lambda s: spec(seeds=s.seeds + (max(s.seeds) + 1,)),
+    "cycles": lambda s: spec(cycles=(s.cycles or 0) + 1),
+    "params": lambda s: spec(params=s.params + (("zz", 99),)),
+}
+
+
+class TestScenarioIdProperties:
+    def test_mutation_table_covers_every_field(self):
+        import dataclasses
+
+        assert set(FIELD_MUTATIONS) == {
+            f.name for f in dataclasses.fields(ScenarioSpec)
+        }
+
+    @pytest.mark.parametrize("field", sorted(FIELD_MUTATIONS))
+    def test_id_sensitive_to_field(self, field):
+        base = spec()
+        mutated = FIELD_MUTATIONS[field](base)
+        assert mutated.scenario_id() != base.scenario_id(), field
+
+    @settings(max_examples=50)
+    @given(seeds=seed_lists, data=st.data())
+    def test_seed_order_immaterial(self, seeds, data):
+        shuffled = data.draw(st.permutations(seeds))
+        assert (
+            spec(seeds=tuple(seeds)).scenario_id()
+            == spec(seeds=tuple(shuffled)).scenario_id()
+        )
+
+    @settings(max_examples=50)
+    @given(seeds=seed_lists, extra=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_seed_set_matters_even_reordered(self, seeds, extra):
+        hypothesis.assume(extra not in seeds)
+        base = spec(seeds=tuple(seeds))
+        grown = spec(seeds=(extra,) + tuple(seeds))
+        assert base.scenario_id() != grown.scenario_id()
+
+
+# ------------------------------------------------------------------- store
+
+
+class TestResultStore:
+    def test_record_and_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        rec = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        again = store.load(rec.record_id)
+        assert again.payload == PAYLOAD
+        assert again.scenario_id == spec().scenario_id()
+        assert again.payload_schema == PAYLOAD_SCHEMAS["fig2"]
+        assert again.record_id == content_id(
+            again.scenario_id, again.payload_schema, again.payload
+        )
+
+    def test_rerecording_dedups_content_but_logs_both(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        a = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        b = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        assert a.record_id == b.record_id
+        assert len(list(store.records_dir.glob("*.json"))) == 1
+        assert len(store.index()) == 2
+        assert [e["seq"] for e in store.index()] == [0, 1]
+
+    def test_load_by_prefix_and_name_at(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        rec = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        assert store.load(rec.record_id[:8]).record_id == rec.record_id
+        assert store.load("fig2@0").record_id == rec.record_id
+        assert store.load("fig2@-1").record_id == rec.record_id
+        with pytest.raises(ValueError, match="too short"):
+            store.load(rec.record_id[:3])
+        with pytest.raises(ValueError, match="out of range"):
+            store.load("fig2@5")
+        with pytest.raises(ValueError, match="no recordings"):
+            store.load("fig9@0")
+
+    def test_missing_index_with_records_is_one_line_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        store.index_path.unlink()
+        with pytest.raises(ValueError, match="restore the index or re-import"):
+            store.index()
+
+    def test_corrupt_index_is_one_line_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.directory.mkdir()
+        store.index_path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.index()
+
+    def test_wrong_index_schema_is_one_line_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.directory.mkdir()
+        store.index_path.write_text(json.dumps({"schema": "x", "records": []}))
+        with pytest.raises(ValueError, match=INDEX_SCHEMA.replace("/", "/")):
+            store.index()
+
+    def test_tampered_record_fails_content_hash(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        rec = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        path = store.record_path(rec.record_id)
+        doc = json.loads(path.read_text())
+        doc["payload"]["sd_alone_bw"] = 0.9
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="fails its content hash"):
+            store.load(rec.record_id)
+
+    def test_empty_store_lists_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.index() == []
+        assert store.scenarios() == []
+
+    def test_gc_prunes_and_removes_orphans(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for seed in (1, 2, 3):
+            store.record(
+                spec().with_seed(seed), {"v": seed}, PAYLOAD_SCHEMAS["fig2"]
+            )
+        # Orphan: a record file never entered in the index.
+        orphan = store.records_dir / ("ab" * 32 + ".json")
+        orphan.write_text("{}")
+        stats = store.gc()
+        assert stats["orphans_removed"] == 1 and not orphan.exists()
+        # Each seed is its own scenario id, so keep=1 prunes nothing here...
+        assert store.gc(keep=1)["pruned"] == 0
+        # ...but re-recording one scenario twice then keep=1 drops the older.
+        store.record(spec().with_seed(1), {"v": 1}, PAYLOAD_SCHEMAS["fig2"])
+        stats = store.gc(keep=1)
+        assert stats["pruned"] == 1
+        assert [e["seq"] for e in store.index()] == list(range(3))
+        with pytest.raises(ValueError, match="keep must be >= 1"):
+            store.gc(keep=0)
+
+    def test_iter_payloads_filters_by_scenario(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        store.record(
+            spec(name="fig9", kind="fairness-policy"),
+            {"a": 1}, PAYLOAD_SCHEMAS["fig9"],
+        )
+        assert len(list(iter_payloads(store))) == 2
+        only = list(iter_payloads(store, "fig9"))
+        assert len(only) == 1
+        assert only[0][1].payload == {"a": 1}
+
+    def test_store_path_collision_rejected(self, tmp_path):
+        f = tmp_path / "file"
+        f.write_text("x")
+        with pytest.raises(ValueError, match="not a directory"):
+            ResultStore(f)
+
+
+# ----------------------------------------------------- cross-process bytes
+
+
+CHILD = """
+import sys
+from repro.store import PAYLOAD_SCHEMAS, ResultStore, scenario_for
+store = ResultStore(sys.argv[1])
+rec = store.record(
+    scenario_for("fig2", seed=5),
+    {"combos": ["SD+SB"], "unfairness": {"SD+SB": 2.0}, "sd_alone_bw": 0.25},
+    PAYLOAD_SCHEMAS["fig2"],
+)
+print(rec.record_id)
+"""
+
+
+class TestCrossProcessStability:
+    def test_record_bytes_bit_stable_across_processes(self, tmp_path):
+        """Two separate interpreters recording the same scenario+payload
+        must produce the same record id and byte-identical record files."""
+        ids, blobs = [], []
+        for sub in ("a", "b"):
+            out = subprocess.run(
+                [sys.executable, "-c", CHILD, str(tmp_path / sub)],
+                capture_output=True, text=True, check=True,
+            )
+            store = ResultStore(tmp_path / sub)
+            rid = out.stdout.strip()
+            ids.append(rid)
+            blobs.append(store.record_path(rid).read_bytes())
+        assert ids[0] == ids[1]
+        assert blobs[0] == blobs[1]
+        # And the in-process computation agrees with both children.
+        rec = ResultStore(tmp_path / "c").record(
+            scenario_for("fig2", seed=5),
+            {"combos": ["SD+SB"], "unfairness": {"SD+SB": 2.0},
+             "sd_alone_bw": 0.25},
+            PAYLOAD_SCHEMAS["fig2"],
+        )
+        assert rec.record_id == ids[0]
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2, {"d": 3, "c": 4}]}) == (
+            canonical_json({"a": [2, {"c": 4, "d": 3}], "b": 1})
+        )
+
+
+# ------------------------------------------------------------ legacy import
+
+
+class TestLegacyImport:
+    def test_import_reexports_byte_identical(self, tmp_path):
+        legacy = {"pair": ["SD", "SB"], "errors": {"clean": 11.5, "0.2": 14.0}}
+        src = tmp_path / "degradation.json"
+        src.write_text(json.dumps(legacy, indent=1, sort_keys=True) + "\n")
+        store = ResultStore(tmp_path / "store")
+        rec = store.import_legacy(src)
+        assert rec.payload_schema == LEGACY_SCHEMA
+        assert rec.scenario["name"] == "degradation"
+        assert rec.scenario["kind"] == "legacy-import"
+        assert rec.provenance["imported_from"] == "degradation.json"
+        assert store.export_payload(rec.record_id) == src.read_text()
+        assert store.export_payload(rec.record_id).encode() == src.read_bytes()
+
+    def test_import_missing_and_corrupt_one_line(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="does not exist"):
+            store.import_legacy(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            store.import_legacy(bad)
+
+    def test_import_with_explicit_name_and_schema(self, tmp_path):
+        src = tmp_path / "old.json"
+        src.write_text(json.dumps({"correlation": 0.98}) + "\n")
+        store = ResultStore(tmp_path / "store")
+        rec = store.import_legacy(
+            src, scenario_name="fig3", payload_schema=PAYLOAD_SCHEMAS["fig3"]
+        )
+        assert rec.scenario["name"] == "fig3"
+        assert rec.payload_schema == PAYLOAD_SCHEMAS["fig3"]
+        # It now participates in fig3 trajectories like a native record.
+        assert store.load("fig3@-1").record_id == rec.record_id
+
+
+# -------------------------------------------------------------- trajectory
+
+
+class TestTrajectory:
+    def test_metrics_and_series(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for bw in (0.25, 0.30):
+            store.record(
+                spec(), {"combos": ["SD+SB"],
+                         "unfairness": {"SD+SB": 2.0 + bw},
+                         "sd_alone_bw": bw},
+                PAYLOAD_SCHEMAS["fig2"],
+            )
+        rec = store.load("fig2@-1")
+        m = metrics_of(rec)
+        assert m["sd_alone_bw"] == pytest.approx(0.30)
+        assert m["unfairness.mean"] == pytest.approx(2.30)
+        series = trajectory(store)
+        assert list(series) == ["fig2"]
+        pts = series["fig2"]["points"]
+        assert len(pts) == 2
+        assert [p["metrics"]["sd_alone_bw"] for p in pts] == [0.25, 0.30]
+        assert series["fig2"]["metrics"]["sd_alone_bw"] == [
+            (0, 0.25), (1, 0.30)
+        ]
+
+    def test_generic_fallback_for_legacy_payloads(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        src = tmp_path / "old.json"
+        src.write_text(json.dumps({"score": 1.5, "nested": {"x": 2}}) + "\n")
+        rec = store.import_legacy(src)
+        m = metrics_of(rec)
+        assert m == {"score": 1.5}  # top-level numeric scalars only
+
+    def test_record_schema_constant_matches_disk(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        rec = store.record(spec(), PAYLOAD, PAYLOAD_SCHEMAS["fig2"])
+        doc = json.loads(store.record_path(rec.record_id).read_text())
+        assert doc["schema"] == RECORD_SCHEMA

@@ -82,7 +82,12 @@ class TestTelemetry:
         gpu.run(5_000)
         assert len(tel.samples) == n + 2
 
-    def test_legacy_import_path_still_works(self):
-        from repro.harness import Telemetry as legacy
+    def test_legacy_import_path_removed(self):
+        # repro.obs.Telemetry is the only import path: the repro.harness
+        # re-export finished its deprecation cycle and is gone.
+        import repro.harness as harness
 
-        assert legacy is Telemetry
+        assert not hasattr(harness, "Telemetry")
+        from repro.obs import Telemetry as canonical
+
+        assert canonical is Telemetry
