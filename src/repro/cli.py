@@ -103,8 +103,6 @@ def _resolve_backend(args) -> str | None:
 
 
 def _cmd_fig(args) -> int:
-    from repro.harness import experiments as ex
-    from repro.harness import report as rp
     from repro.harness.parallel import set_default_progress, set_sweep_defaults
 
     name = args.experiment
@@ -154,7 +152,7 @@ def _cmd_fig(args) -> int:
         profile=profile_sweep,
     )
     try:
-        rc = _run_fig(args, ex, rp, name)
+        rc = _run_fig(args, name)
         if sweep_trace:
             _write_sweep_artifacts(sweep_trace, bus_dir, profile_sweep)
         return rc
@@ -169,62 +167,11 @@ def _cmd_fig(args) -> int:
             logger.close()
 
 
-def _run_fig(args, ex, rp, name: str) -> int:
-    # Sweep-shaped experiments fan out across --jobs worker processes and
-    # memoise alone replays under --cache-dir (see docs/parallel-harness.md).
-    par = {"jobs": args.jobs, "cache_dir": args.cache_dir,
-           "backend": _resolve_backend(args)}
-    # --seed pins the simulation seed (figure drivers default to the
-    # GPUConfig seed); --store records the typed result payload under its
-    # ScenarioSpec identity (see docs/results-store.md).  fig-degradation
-    # and fig-churn interpret --seed as their fault/arrival seed instead.
-    seed = getattr(args, "seed", None)
-    cfg = None
-    if seed is not None and name not in ("fig-degradation", "fig-churn",
-                                         "fig8b"):
-        from repro.harness import scaled_config
-
-        cfg = scaled_config(seed=seed)
-    record = None  # (payload, scenario-builder kwargs)
-    if name == "fig2":
-        res = ex.fig2_unfairness(config=cfg, **par)
-        print(rp.render_fig2(res))
-        record = (res.to_dict(), {"pairs": res.combos})
-    elif name == "fig3":
-        res = ex.fig3_service_rate(config=cfg)  # inline, no sweep
-        print(rp.render_fig3(res))
-        record = (res.to_dict(), {})
-    elif name == "fig4":
-        res = ex.fig4_mbb_requests(config=cfg)  # inline, no sweep
-        print(rp.render_fig4(res))
-        record = (res.to_dict(), {"partners": sorted(res.shared_rates)})
-    elif name == "fig5":
-        res = ex.fig5_two_app_accuracy(limit=args.limit, config=cfg, **par)
-        print(rp.render_accuracy(res, "Fig 5 — two-application error"))
-        record = (res.to_dict(), {"pairs": res.workloads})
-    elif name == "fig6":
-        res = ex.fig6_four_app_accuracy(count=args.limit, config=cfg, **par)
-        print(rp.render_accuracy(res, "Fig 6 — four-application error"))
-        record = (res.to_dict(), {"pairs": res.workloads})
-    elif name == "fig7":
-        two = ex.fig5_two_app_accuracy(limit=args.limit, config=cfg, **par)
-        dist = ex.fig7_error_distribution(two)
-        print(rp.render_distribution(dist))
-        record = (dist, {"pairs": two.workloads})
-    elif name == "fig8a":
-        res = ex.fig8a_sm_allocation_sensitivity(config=cfg, **par)
-        print(rp.render_sensitivity(res, "Fig 8a — SM split"))
-        record = (res.to_dict(), {"splits": res.labels})
-    elif name == "fig8b":
-        res = ex.fig8b_sm_count_sensitivity(seed=seed, **par)
-        print(rp.render_sensitivity(res, "Fig 8b — SM count"))
-        record = (res.to_dict(), {"sm_counts": res.labels})
-    elif name == "fig9":
-        res = ex.fig9_dase_fair(config=cfg, **par)
-        print(rp.render_fig9(res))
-        record = (res.to_dict(), {
-            "pairs": [tuple(k.split("+")) for k in res.workloads],
-        })
+def _fig_driver_kw(args, name: str) -> dict:
+    """Parse figure-specific CLI flags into run_figure driver kwargs."""
+    kw = {}
+    if name in ("fig5", "fig6", "fig7"):
+        kw["limit"] = args.limit
     elif name == "fig-degradation":
         sigmas = None
         if args.sigmas:
@@ -232,14 +179,8 @@ def _run_fig(args, ex, rp, name: str) -> int:
                 sigmas = tuple(float(s) for s in args.sigmas.split(",") if s)
             except ValueError:
                 raise SystemExit(f"bad --sigmas value {args.sigmas!r}")
-        res = ex.fig_degradation(
-            pair=tuple(args.pair) if args.pair else None,
-            sigmas=sigmas, seed=args.seed, **par,
-        )
-        print(rp.render_degradation(res))
-        if args.out:
-            _write_degradation_artifacts(args.out, res)
-        record = (res.to_dict(), {"pair": res.pair, "sigmas": res.sigmas})
+        kw["pair"] = tuple(args.pair) if args.pair else None
+        kw["sigmas"] = sigmas
     elif name == "fig-churn":
         from repro.workloads import APP_NAMES
 
@@ -254,52 +195,48 @@ def _run_fig(args, ex, rp, name: str) -> int:
                 raise SystemExit(
                     f"unknown app {a!r}; choose from {APP_NAMES}"
                 )
-        res = ex.fig_churn(
+        kw.update(
             base=tuple(args.base) if args.base else None,
             pool=tuple(args.pool) if args.pool else None,
-            rates=rates, seed=args.seed,
-            mean_lifetime=args.mean_lifetime,
-            shared_cycles=args.cycles, **par,
+            rates=rates, mean_lifetime=args.mean_lifetime,
+            shared_cycles=args.cycles,
         )
-        print(rp.render_churn(res))
-        if args.out:
-            _write_churn_artifacts(args.out, res)
-        record = (res.to_dict(), {
-            "base": res.base, "pool": res.pool, "rates": res.rates,
-        })
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown experiment {name}")
-    if getattr(args, "store", None) and record is not None:
-        _record_figure(args, name, *record)
+    return kw
+
+
+def _run_fig(args, name: str) -> int:
+    # Execution, rendering, and scenario identity all live in
+    # repro.harness.figures — the same dispatch `repro serve` uses, so the
+    # CLI and the service record byte-identical results.  Sweep-shaped
+    # experiments fan out across --jobs worker processes and memoise alone
+    # replays under --cache-dir (see docs/parallel-harness.md);
+    # fig-degradation and fig-churn interpret --seed as their fault/arrival
+    # seed instead of the GPUConfig seed.
+    from repro.harness import figures as fg
+
+    run = fg.run_figure(
+        name, seed=getattr(args, "seed", None), jobs=args.jobs,
+        cache_dir=args.cache_dir, backend=_resolve_backend(args),
+        **_fig_driver_kw(args, name),
+    )
+    print(run.rendered)
+    if getattr(args, "out", None):
+        if name == "fig-degradation":
+            _write_degradation_artifacts(args.out, run.result)
+        elif name == "fig-churn":
+            _write_churn_artifacts(args.out, run.result)
+    if getattr(args, "store", None):
+        try:
+            rec, spec = fg.record_figure(args.store, run)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"repro {name}: {exc}")
+        print(
+            f"\nrecorded {name} into {args.store} "
+            f"(scenario {spec.scenario_id()[:12]}, "
+            f"record {rec.record_id[:12]})",
+            file=sys.stderr,
+        )
     return 0
-
-
-def _record_figure(args, name: str, payload, scenario_kw: dict) -> None:
-    """Store one figure driver's typed payload under its scenario id."""
-    from repro.harness import scaled_config
-    from repro.harness.replay_cache import config_fingerprint
-    from repro.store import PAYLOAD_SCHEMAS, ResultStore, scenario_for
-
-    seed = getattr(args, "seed", None)
-    spec = scenario_for(
-        name, seed=seed, backend=getattr(args, "backend", None),
-        **scenario_kw,
-    )
-    overrides = {"seed": seed} if seed is not None else {}
-    provenance = {
-        "config_fingerprint": config_fingerprint(scaled_config(**overrides)),
-    }
-    try:
-        rec = ResultStore(args.store).record(
-            spec, payload, PAYLOAD_SCHEMAS[name], provenance=provenance
-        )
-    except (ValueError, OSError) as exc:
-        raise SystemExit(f"repro {name}: {exc}")
-    print(
-        f"\nrecorded {name} into {args.store} "
-        f"(scenario {spec.scenario_id()[:12]}, record {rec.record_id[:12]})",
-        file=sys.stderr,
-    )
 
 
 def _write_degradation_artifacts(out_dir: str, res) -> None:
@@ -719,6 +656,95 @@ def _cmd_trajectory(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import ReproService
+
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        service = ReproService(
+            args.state_dir, store_dir=args.store, cache_dir=args.cache_dir,
+            host=args.host, port=args.port, jobs=args.jobs or 1,
+            policy=args.policy, retries=args.retries,
+            allow_chaos=args.allow_chaos,
+        )
+        url = service.start()
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    print(f"repro serve: listening on {url} "
+          f"(state {args.state_dir}, policy {args.policy}, "
+          f"jobs {service.n_jobs})", file=sys.stderr, flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _build_submission(args) -> tuple[str, dict]:
+    """Turn `repro submit` flags into a (kind, spec) pair."""
+    chosen = [bool(args.apps), args.scenario is not None,
+              args.workloads is not None]
+    if sum(chosen) != 1:
+        raise SystemExit(
+            "repro submit: choose exactly one of APPS..., --scenario, "
+            "or --workloads"
+        )
+    opts = {"cycles": args.cycles, "seed": args.seed,
+            "policy": args.policy, "backend": args.backend}
+    if args.scenario is not None:
+        from repro.store import SCENARIOS
+
+        ref = args.scenario
+        spec = {"seed": args.seed, "backend": args.backend}
+        if args.limit is not None:
+            spec["params"] = {"limit": args.limit}
+        if ref in SCENARIOS:
+            spec["name"] = ref
+        else:
+            spec["id"] = ref
+        return "scenario", spec
+    if args.workloads is not None:
+        workloads = [
+            [a for a in group.split("+") if a]
+            for group in args.workloads.split(",") if group
+        ]
+        return "sweep", dict(opts, workloads=workloads)
+    return "workload", dict(opts, apps=list(args.apps))
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    kind, spec = _build_submission(args)
+    try:
+        client = ServiceClient(args.url, state_dir=args.state_dir,
+                               timeout_s=args.timeout)
+        receipt = client.submit(kind, spec, tenant=args.tenant)
+    except (ServiceError, ValueError, OSError) as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    job_id = receipt["job"]
+    print(f"repro submit: job {job_id[:12]} "
+          f"({'deduped' if receipt['deduped'] else 'queued'})",
+          file=sys.stderr)
+    if args.no_wait:
+        print(json.dumps(receipt, indent=1, sort_keys=True))
+        return 0
+    try:
+        for event in client.stream(job_id):
+            print(f"repro submit: {json.dumps(event, sort_keys=True)}",
+                  file=sys.stderr)
+        status = client.status(job_id)
+    except (ServiceError, OSError) as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    print(json.dumps(status, indent=1, sort_keys=True))
+    return 0 if status["status"] == "done" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -857,6 +883,75 @@ def build_parser() -> argparse.ArgumentParser:
                          "'vectorized' needs NumPy — see "
                          "docs/performance.md)")
     rn.set_defaults(func=_cmd_run)
+
+    sv = sub.add_parser(
+        "serve", help="run the job-service daemon: local HTTP API with a "
+                      "fairness-aware admission queue (see docs/service.md)"
+    )
+    sv.add_argument("--state-dir", required=True, metavar="DIR",
+                    help="daemon state: journal, checkpoints, bus, replay "
+                         "cache, endpoint file (restart with the same DIR "
+                         "to resume interrupted jobs)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=0,
+                    help="bind port (default: 0 — ephemeral; the chosen "
+                         "port lands in DIR/endpoint.json)")
+    sv.add_argument("--store", default=None, metavar="DIR",
+                    help="record scenario results into the hash-addressed "
+                         "store under DIR (same records as `repro fig* "
+                         "--store`)")
+    sv.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="alone-replay cache shared by all jobs "
+                         "(default: DIR/cache under --state-dir)")
+    sv.add_argument("--jobs", type=int, default=1,
+                    help="worker processes per admitted request "
+                         "(default: 1)")
+    sv.add_argument("--policy", choices=("fair", "fifo"), default="fair",
+                    help="admission policy: 'fair' minimizes max/min "
+                         "tenant slowdown, 'fifo' is arrival order "
+                         "(default: fair)")
+    sv.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="retry failed sweep jobs up to N times "
+                         "(default: 0)")
+    sv.add_argument("--allow-chaos", action="store_true",
+                    help="accept 'chaos' submissions (test rigs only)")
+    sv.set_defaults(func=_cmd_serve)
+
+    sm = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` daemon and "
+                       "stream its events (see docs/service.md)"
+    )
+    sm.add_argument("apps", nargs="*",
+                    help="suite app names for a single workload, e.g. SD SB")
+    sm.add_argument("--scenario", default=None, metavar="NAME_OR_ID",
+                    help="registered scenario name (fig2, fig9, ...) or a "
+                         "scenario id prefix from GET /v1/scenarios")
+    sm.add_argument("--workloads", default=None, metavar="W1,W2",
+                    help="sweep spec: comma-separated '+'-joined app "
+                         "groups, e.g. SD+SB,NN+VA")
+    sm.add_argument("--url", default=None,
+                    help="daemon URL (default: read from --state-dir)")
+    sm.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="running daemon's state dir (reads endpoint.json)")
+    sm.add_argument("--tenant", default="default",
+                    help="tenant name for fairness accounting "
+                         "(default: 'default')")
+    sm.add_argument("--cycles", type=int, default=None,
+                    help="shared-run horizon in cycles")
+    sm.add_argument("--seed", type=int, default=None,
+                    help="simulation seed")
+    sm.add_argument("--policy", default=None,
+                    help="SM-allocation policy for workload/sweep jobs")
+    sm.add_argument("--backend", choices=("reference", "vectorized"),
+                    default=None, help="simulator core backend")
+    sm.add_argument("--limit", type=int, default=None,
+                    help="scenario sweep limit (fig5/fig6/fig7)")
+    sm.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                    help="client HTTP timeout per request (default: 600)")
+    sm.add_argument("--no-wait", action="store_true",
+                    help="print the receipt and exit without streaming")
+    sm.set_defaults(func=_cmd_submit)
 
     tr = sub.add_parser(
         "trace",

@@ -62,6 +62,7 @@ class SweepProgress:
         jsonl: IO[str] | None = None,
         bus: "str | obs_bus.BusReader | None" = None,
         clock: Callable[[], float] | None = None,
+        wall: Callable[[], float] | None = None,
     ) -> None:
         self.total = total
         self.label = label
@@ -73,6 +74,10 @@ class SweepProgress:
         self.cache_misses = 0
         self.busy_seconds = 0.0
         self._clock = clock if clock is not None else time.perf_counter
+        # Bus timestamps are wall clock; straggler ages compare against this
+        # (separately injectable so tests can pin the scan deterministically
+        # without disturbing the perf_counter-based gap/ETA EWMAs).
+        self._wall = wall if wall is not None else time.time
         self._t0 = self._clock()
         self._last_done_t = self._t0
         self._ewma_gap: float | None = None   # between completions
@@ -86,6 +91,7 @@ class SweepProgress:
                 else obs_bus.BusReader(bus)
             )
         self._inflight: dict[tuple, dict] = {}
+        self._settled: set[tuple] = set()
         self._warned: set[tuple] = set()
 
     # ------------------------------------------------------------- protocol
@@ -117,17 +123,33 @@ class SweepProgress:
 
     def _check_stragglers(self) -> None:
         """Tail the bus channels; warn once per suspiciously old job."""
-        for rec in self._bus.poll():
+        # One poll() batch spans multiple channel files, and the reader
+        # yields them in file order, not event order — a job's parent-side
+        # ``outcome`` can surface *before* its worker-side ``job_start``.
+        # Apply the whole batch in timestamp order (start wins ties, so a
+        # same-instant end still settles it) and remember fully settled
+        # jobs, so the in-flight set is consistent before the 3×-EWMA scan
+        # and an already-finished job can never be warned as a straggler.
+        order = {"job_start": 0}
+        batch = sorted(
+            self._bus.poll(),
+            key=lambda r: (r.get("ts") or 0.0, order.get(r.get("t"), 1)),
+        )
+        for rec in batch:
             t = rec.get("t")
             key = (rec.get("sweep"), rec.get("job"))
             if t == "job_start":
-                self._inflight[key] = rec
-            elif t in ("job_end", "outcome"):
+                if key not in self._settled:
+                    self._inflight[key] = rec
+            elif t == "job_end":
+                self._inflight.pop(key, None)
+            elif t == "outcome":
+                self._settled.add(key)
                 self._inflight.pop(key, None)
         if self._ewma_dur is None or self._ewma_dur <= 0:
             return
         threshold = self.STRAGGLER_FACTOR * self._ewma_dur
-        now = time.time()  # bus timestamps are wall clock
+        now = self._wall()  # bus timestamps are wall clock
         for key, rec in self._inflight.items():
             if key in self._warned:
                 continue

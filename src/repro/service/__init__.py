@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: the ``repro serve`` job daemon.
+
+The service layer turns the repository's batch harness into a long-running
+daemon with a local HTTP job API (:mod:`repro.service.daemon`), a
+fairness-aware admission queue that schedules tenants the way DASE-Fair
+schedules applications (:mod:`repro.service.queue`), a small JSON protocol
+(:mod:`repro.service.protocol`), and a thin blocking client
+(:mod:`repro.service.client`).  See docs/service.md.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError, read_endpoint
+from repro.service.daemon import ReproService
+from repro.service.protocol import (
+    KINDS,
+    SCHEMA,
+    JobRequest,
+    parse_submit,
+    request_fingerprint,
+)
+from repro.service.queue import AdmissionQueue, QueueAudit, QueuedRequest
+
+__all__ = [
+    "AdmissionQueue",
+    "JobRequest",
+    "KINDS",
+    "QueueAudit",
+    "QueuedRequest",
+    "ReproService",
+    "SCHEMA",
+    "ServiceClient",
+    "ServiceError",
+    "parse_submit",
+    "read_endpoint",
+    "request_fingerprint",
+]

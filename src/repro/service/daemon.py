@@ -1,0 +1,816 @@
+"""The ``repro serve`` daemon: a local HTTP job API over the harness.
+
+One :class:`ReproService` owns four things:
+
+* a **job table** of deduplicated jobs (keyed by the protocol fingerprint,
+  so two tenants asking the same question subscribe to one simulation);
+* the **admission queue** (:class:`~repro.service.queue.AdmissionQueue`)
+  deciding which tenant's request runs next;
+* a single **scheduler thread** that drains the queue through the hardened
+  :func:`~repro.harness.parallel.run_jobs` harness — one request at a time,
+  fanned out across ``jobs`` worker processes, with the telemetry bus and
+  sweep checkpoints under ``state_dir`` so a kill -9'd daemon resumes
+  mid-sweep on restart;
+* a **journal** (``state_dir/journal.jsonl``) of accepted submissions and
+  terminal states, replayed on startup to re-enqueue interrupted work.
+
+Endpoints (all JSON; see docs/service.md for the schema):
+
+=======  =========================  ==========================================
+POST     /v1/jobs                   submit {tenant, kind, spec}
+GET      /v1/jobs                   list known jobs
+GET      /v1/jobs/<id>              status / result
+GET      /v1/jobs/<id>/stream       JSONL event stream (``?sse=1`` for SSE)
+POST     /v1/jobs/<id>/cancel       cancel a queued job
+GET      /v1/scenarios              registered + recorded scenarios
+GET      /v1/queue                  queue state, fairness metrics, audit
+GET      /v1/report                 SweepStats over the daemon's bus
+GET      /v1/healthz                liveness
+POST     /v1/shutdown               graceful stop
+=======  =========================  ==========================================
+
+Misbehaving clients get one-line JSON errors: malformed JSON and protocol
+violations are 400, oversized bodies 413, unknown jobs 404 — the daemon
+never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service import protocol
+from repro.service.queue import AdmissionQueue, QueuedRequest
+
+ENDPOINT_FILE = "endpoint.json"
+JOURNAL_FILE = "journal.jsonl"
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled"
+)
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class Job:
+    """One deduplicated unit of service work and its event history."""
+
+    def __init__(self, job_id: str, kind: str, spec: dict[str, Any]) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.spec = spec
+        self.state = QUEUED
+        self.tenants: list[str] = []
+        self.rids: list[str] = []
+        self.events: list[dict[str, Any]] = []
+        self.result: Any = None
+        self.error: str | None = None
+        self.record_id: str | None = None
+        self.scenario_id: str | None = None
+        self.queue_entry: QueuedRequest | None = None
+        self.submitted_t = time.time()
+        self.finished_t: float | None = None
+        self.simulations = 0  # times this job actually executed
+
+    def subscribe(self, tenant: str, rid: str) -> None:
+        if tenant not in self.tenants:
+            self.tenants.append(tenant)
+        self.rids.append(rid)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": protocol.SCHEMA,
+            "job": self.job_id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "status": self.state,
+            "tenants": list(self.tenants),
+            "subscribers": len(self.rids),
+            "simulations": self.simulations,
+            "result": self.result,
+            "error": self.error,
+            "record_id": self.record_id,
+            "scenario_id": self.scenario_id,
+        }
+
+
+class ReproService:
+    """The daemon: job table + admission queue + scheduler + HTTP server."""
+
+    def __init__(
+        self,
+        state_dir: str | os.PathLike,
+        *,
+        store_dir: str | None = None,
+        cache_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        policy: str = "fair",
+        retries: int = 0,
+        allow_chaos: bool = False,
+    ) -> None:
+        self.state_dir = pathlib.Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.store_dir = store_dir
+        self.cache_dir = cache_dir or str(self.state_dir / "cache")
+        self.host = host
+        self._port = port
+        self.n_jobs = max(1, jobs)
+        self.retries = retries
+        self.allow_chaos = allow_chaos
+        self.queue = AdmissionQueue(policy)
+        self.jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._stopping = False
+        self._server: ThreadingHTTPServer | None = None
+        self._scheduler: threading.Thread | None = None
+        self._ckpt_dir = str(self.state_dir / "ckpt")
+        self._bus_dir = str(self.state_dir / "bus")
+        self._chaos_dir = self.state_dir / "chaos"
+        self._journal_path = self.state_dir / JOURNAL_FILE
+        for d in (self._ckpt_dir, self._bus_dir, self.cache_dir):
+            pathlib.Path(d).mkdir(parents=True, exist_ok=True)
+        self._recover()
+
+    # ------------------------------------------------------------- journal
+
+    def _journal(self, record: dict[str, Any]) -> None:
+        record = dict(record, ts=time.time())
+        with self._journal_path.open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _recover(self) -> None:
+        """Replay the journal: re-enqueue interrupted jobs, keep tombstones
+        of completed ones (their payloads live in the results store)."""
+        if not self._journal_path.is_file():
+            return
+        submits: dict[str, dict] = {}
+        terminal: dict[str, dict] = {}
+        for line in self._journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a kill -9: ignore
+            if rec.get("t") == "submit":
+                entry = submits.setdefault(
+                    rec["job"],
+                    {"kind": rec["kind"], "spec": rec["spec"], "tenants": []},
+                )
+                entry["tenants"].append(rec["tenant"])
+            elif rec.get("t") == "terminal":
+                terminal[rec["job"]] = rec
+        for job_id, entry in submits.items():
+            job = Job(job_id, entry["kind"], entry["spec"])
+            fin = terminal.get(job_id)
+            if fin is not None:
+                job.state = fin.get("state", DONE)
+                job.record_id = fin.get("record_id")
+                job.scenario_id = fin.get("scenario_id")
+                job.tenants = entry["tenants"]
+                job.events.append(protocol.event(
+                    "done" if job.state == DONE else job.state,
+                    job=job_id, recovered=True, record_id=job.record_id,
+                ))
+                self.jobs[job_id] = job
+                continue
+            # Interrupted: re-enqueue under the first tenant; the sweep
+            # checkpoint under state_dir restores finished sub-jobs.
+            self.jobs[job_id] = job
+            for tenant in entry["tenants"]:
+                req = self.queue.submit(tenant, job_id)
+                job.subscribe(tenant, req.rid)
+                if job.queue_entry is None:
+                    job.queue_entry = req
+            job.events.append(protocol.event(
+                "queued", job=job_id, recovered=True,
+                tenants=list(job.tenants),
+            ))
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind the server, start the scheduler, write the endpoint file."""
+        handler = _make_handler(self)
+        self._server = ThreadingHTTPServer((self.host, self._port), handler)
+        self._server.daemon_threads = True
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-serve-scheduler",
+            daemon=True,
+        )
+        self._scheduler.start()
+        endpoint = {
+            "schema": protocol.SCHEMA,
+            "host": self.host,
+            "port": self.port,
+            "url": self.url,
+            "pid": os.getpid(),
+        }
+        (self.state_dir / ENDPOINT_FILE).write_text(
+            json.dumps(endpoint, indent=1, sort_keys=True) + "\n"
+        )
+        return self.url
+
+    def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        try:
+            self._server.serve_forever(poll_interval=0.2)
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._cond.notify_all()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._scheduler is not None and self._scheduler.is_alive():
+            self._scheduler.join(timeout=10.0)
+
+    # ---------------------------------------------------------- submission
+
+    def submit(self, request: protocol.JobRequest) -> dict[str, Any]:
+        """Admit (or dedup) one validated request; returns the receipt."""
+        job_id = request.job_id
+        with self._cond:
+            job = self.jobs.get(job_id)
+            fresh = job is None or job.state in (FAILED, CANCELLED)
+            if fresh:
+                job = Job(job_id, request.kind, request.spec)
+                self.jobs[job_id] = job
+            req = None
+            if fresh:
+                req = self.queue.submit(request.tenant, job_id)
+                job.queue_entry = req
+            rid = req.rid if req is not None else f"sub{len(job.rids) + 1}"
+            job.subscribe(request.tenant, rid)
+            self._journal({
+                "t": "submit", "job": job_id, "tenant": request.tenant,
+                "kind": request.kind, "spec": request.spec, "rid": rid,
+            })
+            self._emit(job, protocol.event(
+                "queued", job=job_id, tenant=request.tenant,
+                deduped=not fresh, status=job.state,
+            ))
+            if fresh:
+                self._cond.notify_all()
+            return {
+                "schema": protocol.SCHEMA,
+                "job": job_id,
+                "status": job.state,
+                "deduped": not fresh,
+                "tenant": request.tenant,
+            }
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        with self._cond:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.state == QUEUED and job.queue_entry is not None:
+                removed = self.queue.cancel(job.queue_entry.rid)
+                if removed is not None:
+                    job.state = CANCELLED
+                    job.finished_t = time.time()
+                    self._journal({
+                        "t": "terminal", "job": job_id, "state": CANCELLED,
+                    })
+                    self._emit(job, protocol.event("cancelled", job=job_id))
+                    self._cond.notify_all()
+            return {
+                "schema": protocol.SCHEMA,
+                "job": job_id,
+                "status": job.state,
+                "cancelled": job.state == CANCELLED,
+            }
+
+    def _emit(self, job: Job, event: dict[str, Any]) -> None:
+        """Append one stream event (caller holds the lock)."""
+        job.events.append(event)
+        self._cond.notify_all()
+
+    # ----------------------------------------------------------- scheduler
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and len(self.queue) == 0:
+                    self._cond.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                entry = self.queue.next()
+                if entry is None:  # racing cancel emptied the queue
+                    continue
+                job = self.jobs[entry.job_id]
+                job.state = RUNNING
+                self._emit(job, protocol.event(
+                    "admitted", job=job.job_id, tenant=entry.tenant,
+                    waited_s=round(entry.wait_s(entry.start_t or 0.0), 4),
+                ))
+                self._emit(job, protocol.event("started", job=job.job_id))
+            error = None
+            try:
+                self._execute(job)
+            except Exception as exc:  # noqa: BLE001 - fail the job, not the daemon
+                error = f"{type(exc).__name__}: {exc}"
+            with self._cond:
+                self.queue.complete(entry)
+                if error is None:
+                    job.state = DONE
+                else:
+                    job.state = FAILED
+                    job.error = error
+                job.finished_t = time.time()
+                self._journal({
+                    "t": "terminal", "job": job.job_id, "state": job.state,
+                    "record_id": job.record_id,
+                    "scenario_id": job.scenario_id,
+                })
+                self._emit(job, protocol.event(
+                    "done" if error is None else "failed",
+                    job=job.job_id, error=error, record_id=job.record_id,
+                ))
+
+    # ----------------------------------------------------------- execution
+
+    def _progress(self, job: Job):
+        service = self
+
+        class _Progress:
+            """run_jobs reporter that forwards completions as events."""
+
+            def __init__(self) -> None:
+                self.done = 0
+
+            def job_done(self, outcome) -> None:
+                self.done += 1
+                with service._cond:
+                    service._emit(job, protocol.event(
+                        "progress", job=job.job_id, done=self.done,
+                        key=outcome.job.key, ok=outcome.ok,
+                        resumed=outcome.resumed,
+                    ))
+
+            def close(self) -> None:
+                pass
+
+        return _Progress()
+
+    def _execute(self, job: Job) -> None:
+        job.simulations += 1
+        if job.kind in ("workload", "sweep"):
+            job.result = self._run_workloads(job)
+        elif job.kind == "scenario":
+            job.result = self._run_scenario(job)
+        else:
+            job.result = self._run_chaos(job)
+
+    def _outcome_dict(self, outcome) -> dict[str, Any]:
+        res = outcome.result
+        return {
+            "key": outcome.job.key,
+            "ok": outcome.ok,
+            "attempts": outcome.attempts,
+            "resumed": outcome.resumed,
+            "failure_kind": outcome.failure_kind,
+            "error": (outcome.error or "").strip().splitlines()[-1:] or None,
+            "result": res.to_dict() if hasattr(res, "to_dict") else res,
+        }
+
+    def _run_workloads(self, job: Job) -> dict[str, Any]:
+        from repro.harness import scaled_config
+        from repro.harness.parallel import WorkloadJob, run_jobs
+
+        spec = job.spec
+        workloads = (
+            [spec["apps"]] if job.kind == "workload" else spec["workloads"]
+        )
+        seed = spec.get("seed")
+        cfg = scaled_config(seed=seed) if seed is not None else None
+        wjobs = [
+            WorkloadJob(
+                apps=tuple(apps), config=cfg,
+                shared_cycles=spec.get("cycles"),
+                policy=spec.get("policy"), cache_dir=self.cache_dir,
+                backend=spec.get("backend"),
+            )
+            for apps in workloads
+        ]
+        outcomes = run_jobs(
+            wjobs, n_jobs=self.n_jobs, progress=self._progress(job),
+            retries=self.retries, checkpoint=self._ckpt_dir,
+            bus=self._bus_dir,
+        )
+        out: dict[str, Any] = {
+            "kind": job.kind,
+            "outcomes": [self._outcome_dict(o) for o in outcomes],
+            "ok": sum(1 for o in outcomes if o.ok),
+            "failed": sum(1 for o in outcomes if not o.ok),
+        }
+        if job.kind == "workload" and outcomes and outcomes[0].ok:
+            out["result"] = out["outcomes"][0]["result"]
+        if out["failed"]:
+            # Keep the partial outcomes visible to subscribers, then fail.
+            job.result = out
+            raise RuntimeError(
+                f"{out['failed']}/{len(outcomes)} workload jobs failed"
+            )
+        return out
+
+    def _run_scenario(self, job: Job) -> dict[str, Any]:
+        from repro.harness import figures as fg
+        from repro.harness.parallel import (
+            set_default_progress,
+            set_sweep_defaults,
+        )
+
+        resolved = self.resolve_scenario(job.spec)
+        params = resolved.get("params") or {}
+        # The figure drivers run their own sweeps; route them through the
+        # daemon's checkpoint + bus dirs via the ambient sweep defaults
+        # (single scheduler thread, so the globals are uncontended) — the
+        # same pattern `repro fig*` uses for --resume-dir/--sweep-trace.
+        set_default_progress(lambda total: self._progress(job))
+        set_sweep_defaults(
+            retries=self.retries, checkpoint_dir=self._ckpt_dir,
+            bus_dir=self._bus_dir,
+        )
+        try:
+            run = fg.run_figure(
+                resolved["name"], seed=resolved.get("seed"),
+                jobs=self.n_jobs, cache_dir=self.cache_dir,
+                backend=resolved.get("backend"), **params,
+            )
+        finally:
+            set_default_progress(None)
+            set_sweep_defaults(timeout_s=None, retries=0,
+                               checkpoint_dir=None, bus_dir=None,
+                               profile=False)
+            from repro.obs import bus as obs_bus
+
+            obs_bus.deactivate()
+        out: dict[str, Any] = {
+            "kind": "scenario",
+            "figure": run.name,
+            "payload": run.payload,
+        }
+        if self.store_dir is not None:
+            rec, spec = fg.record_figure(self.store_dir, run)
+            job.record_id = rec.record_id
+            job.scenario_id = spec.scenario_id()
+            out["record_id"] = rec.record_id
+            out["scenario_id"] = job.scenario_id
+        return out
+
+    def _run_chaos(self, job: Job) -> dict[str, Any]:
+        from repro.faults import chaos as ch
+        from repro.faults.chaos import ChaosJob
+        from repro.harness.parallel import run_jobs
+
+        self._chaos_dir.mkdir(parents=True, exist_ok=True)
+        spec = job.spec
+        # Modes that kill or corrupt their own process (os._exit, poisoned
+        # pickles) are only safe inside pool workers; run_jobs goes inline
+        # when min(n_jobs, len(jobs)) <= 1, which would take the daemon
+        # down with the job.  Fail such submissions cleanly instead.
+        lethal = sorted({
+            e["mode"] for e in spec["jobs"]
+            if e["mode"] in (ch.MODE_EXIT, ch.MODE_FLAKY, ch.MODE_BAD_RESULT)
+        })
+        if lethal and min(self.n_jobs, len(spec["jobs"])) <= 1:
+            raise RuntimeError(
+                f"chaos modes {lethal} need a pooled run: submit >= 2 jobs "
+                "to a daemon started with --jobs >= 2"
+            )
+        cjobs = [
+            ChaosJob(
+                name=f"{job.job_id[:12]}-{i}", mode=entry["mode"],
+                payload=entry["payload"],
+                state_dir=str(self._chaos_dir),
+                flaky_failures=entry["flaky_failures"],
+            )
+            for i, entry in enumerate(spec["jobs"])
+        ]
+        outcomes = run_jobs(
+            cjobs, n_jobs=self.n_jobs, progress=self._progress(job),
+            retries=spec["retries"], bus=self._bus_dir,
+        )
+        out = {
+            "kind": "chaos",
+            "outcomes": [self._outcome_dict(o) for o in outcomes],
+            "ok": sum(1 for o in outcomes if o.ok),
+            "failed": sum(1 for o in outcomes if not o.ok),
+        }
+        if out["failed"]:
+            # Same contract as workloads: partial outcomes stay visible to
+            # subscribers, the job itself settles as failed.
+            job.result = out
+            raise RuntimeError(
+                f"{out['failed']}/{len(outcomes)} chaos jobs failed"
+            )
+        return out
+
+    # ------------------------------------------------------------ catalogs
+
+    def _store(self):
+        from repro.store import ResultStore
+
+        return ResultStore(self.store_dir) if self.store_dir else None
+
+    def scenario_catalog(self) -> list[dict[str, Any]]:
+        """Registered scenario builders (default-parameter ids) plus every
+        scenario already recorded in the daemon's store."""
+        from repro.store import SCENARIOS, scenario_for
+
+        rows: dict[str, dict[str, Any]] = {}
+        for name in sorted(SCENARIOS):
+            sid = scenario_for(name).scenario_id()
+            rows[sid] = {
+                "name": name, "scenario_id": sid, "source": "registry",
+                "records": 0,
+            }
+        store = self._store()
+        if store is not None:
+            for row in store.scenarios():
+                sid = row["scenario_id"]
+                entry = rows.setdefault(sid, {
+                    "name": row["scenario_name"], "scenario_id": sid,
+                    "source": "store", "records": 0,
+                })
+                entry["records"] = row["records"]
+        return sorted(rows.values(), key=lambda r: (r["name"],
+                                                    r["scenario_id"]))
+
+    def resolve_scenario(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Resolve a scenario spec (by name or by id prefix) to run_figure
+        kwargs.  Ids cover registry defaults and store-recorded scenarios
+        whose spec is reproducible from (name, seed, backend) alone."""
+        from repro.store import SCENARIOS, scenario_for
+
+        if spec.get("name"):
+            return {k: spec.get(k) for k in ("name", "seed", "backend",
+                                             "params")}
+        target = spec["id"]
+        candidates: dict[str, dict[str, Any]] = {}
+        for name in sorted(SCENARIOS):
+            sid = scenario_for(name).scenario_id()
+            candidates[sid] = {"name": name, "seed": None, "backend": None,
+                               "params": {}}
+        store = self._store()
+        if store is not None:
+            for row in store.scenarios():
+                sid = row["scenario_id"]
+                if sid in candidates:
+                    continue
+                rec = store.load(f"{row['scenario_name']}@-1")
+                sc = rec.scenario
+                seeds = list(sc.get("seeds") or ())
+                kwargs = {
+                    "name": sc.get("name"),
+                    "seed": seeds[0] if len(seeds) == 1 else None,
+                    "backend": sc.get("backend"),
+                    "params": {},
+                }
+                try:
+                    rebuilt = scenario_for(
+                        kwargs["name"], seed=kwargs["seed"],
+                        backend=kwargs["backend"],
+                    ).scenario_id()
+                except ValueError:
+                    continue
+                if rebuilt == sid:  # reproducible from defaults
+                    candidates[sid] = kwargs
+        matches = sorted(
+            sid for sid in candidates if sid.startswith(target)
+        )
+        if not matches:
+            raise ValueError(
+                f"no servable scenario matches id {target!r} "
+                "(see GET /v1/scenarios)"
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                f"scenario id {target!r} is ambiguous: "
+                f"{', '.join(m[:12] for m in matches)}"
+            )
+        resolved = dict(candidates[matches[0]])
+        if spec.get("seed") is not None:
+            resolved["seed"] = spec["seed"]
+        if spec.get("backend") is not None:
+            resolved["backend"] = spec["backend"]
+        if spec.get("params"):
+            resolved["params"] = spec["params"]
+        return resolved
+
+    def report(self) -> dict[str, Any]:
+        """SweepStats over everything the daemon's bus has seen."""
+        from repro.obs.bus import SweepStats, read_bus
+
+        records = read_bus(self._bus_dir)
+        return SweepStats.from_records(records).to_dict()
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "schema": protocol.SCHEMA,
+            "ok": True,
+            "pid": os.getpid(),
+            "jobs": len(self.jobs),
+            "pending": len(self.queue),
+            "policy": self.queue.policy,
+            "store": self.store_dir,
+        }
+
+
+# --------------------------------------------------------------- HTTP layer
+
+
+def _make_handler(service: ReproService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve/1"
+
+        # ------------------------------------------------------- plumbing
+        def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+            pass  # the daemon's own streams are the observable surface
+
+        def _json(self, status: int, payload: dict[str, Any]) -> None:
+            body = json.dumps(payload, indent=1, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str) -> None:
+            self._json(status, {"schema": protocol.SCHEMA, "error": message})
+
+        def _body(self) -> Any:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > protocol.MAX_BODY_BYTES:
+                raise _HttpError(413, "request body too large")
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise _HttpError(400, "empty request body")
+            try:
+                return json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"bad JSON: {exc}")
+
+        # --------------------------------------------------------- routes
+        def do_GET(self) -> None:  # noqa: N802 - stdlib name
+            try:
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path == "/v1/healthz":
+                    self._json(200, service.health())
+                elif path == "/v1/scenarios":
+                    self._json(200, {
+                        "schema": protocol.SCHEMA,
+                        "scenarios": service.scenario_catalog(),
+                    })
+                elif path == "/v1/queue":
+                    with service._lock:
+                        snap = service.queue.snapshot()
+                    self._json(200, snap)
+                elif path == "/v1/report":
+                    self._json(200, service.report())
+                elif path == "/v1/jobs":
+                    with service._lock:
+                        rows = [
+                            {"job": j.job_id, "kind": j.kind,
+                             "status": j.state, "tenants": list(j.tenants)}
+                            for j in service.jobs.values()
+                        ]
+                    self._json(200, {"schema": protocol.SCHEMA, "jobs": rows})
+                elif path.startswith("/v1/jobs/"):
+                    rest = path[len("/v1/jobs/"):]
+                    if rest.endswith("/stream"):
+                        self._stream(rest[:-len("/stream")])
+                    else:
+                        with service._lock:
+                            job = service.jobs.get(rest)
+                            payload = job.to_dict() if job else None
+                        if payload is None:
+                            self._error(404, f"unknown job {rest!r}")
+                        else:
+                            self._json(200, payload)
+                else:
+                    self._error(404, f"unknown path {path!r}")
+            except _HttpError as exc:
+                self._error(exc.status, exc.message)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-response
+            except Exception as exc:  # noqa: BLE001 - never kill the daemon
+                try:
+                    self._error(500, f"{type(exc).__name__}: {exc}")
+                except OSError:
+                    pass
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib name
+            try:
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path == "/v1/jobs":
+                    try:
+                        request = protocol.parse_submit(
+                            self._body(), allow_chaos=service.allow_chaos
+                        )
+                    except ValueError as exc:
+                        raise _HttpError(400, str(exc))
+                    self._json(202, service.submit(request))
+                elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
+                    job_id = path[len("/v1/jobs/"):-len("/cancel")]
+                    try:
+                        self._json(200, service.cancel(job_id))
+                    except KeyError:
+                        self._error(404, f"unknown job {job_id!r}")
+                elif path == "/v1/shutdown":
+                    self._json(200, {"schema": protocol.SCHEMA,
+                                     "stopping": True})
+                    threading.Thread(target=service.stop,
+                                     daemon=True).start()
+                else:
+                    self._error(404, f"unknown path {path!r}")
+            except _HttpError as exc:
+                self._error(exc.status, exc.message)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+            except Exception as exc:  # noqa: BLE001
+                try:
+                    self._error(500, f"{type(exc).__name__}: {exc}")
+                except OSError:
+                    pass
+
+        # ------------------------------------------------------ streaming
+        def _stream(self, job_id: str) -> None:
+            sse = "sse=1" in (self.path.split("?", 1) + [""])[1]
+            with service._lock:
+                job = service.jobs.get(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            self.send_response(200)
+            self.send_header(
+                "Content-Type",
+                "text/event-stream" if sse else "application/x-ndjson",
+            )
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            sent = 0
+            while True:
+                with service._cond:
+                    if (
+                        sent >= len(job.events)
+                        and job.state not in TERMINAL
+                        and not service._stopping
+                    ):
+                        service._cond.wait(timeout=0.5)
+                    batch = job.events[sent:]
+                    sent += len(batch)
+                    terminal = job.state in TERMINAL or service._stopping
+                if not batch and not terminal:
+                    # Heartbeat so a blocked client's read never times out:
+                    # a blank NDJSON line / an SSE comment, both ignorable.
+                    self.wfile.write(b": ping\n\n" if sse else b"\n")
+                    self.wfile.flush()
+                    continue
+                for event in batch:
+                    line = json.dumps(event, sort_keys=True)
+                    if sse:
+                        self.wfile.write(f"data: {line}\n\n".encode())
+                    else:
+                        self.wfile.write((line + "\n").encode())
+                self.wfile.flush()
+                if terminal and sent >= len(job.events):
+                    return
+
+    return Handler
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message

@@ -178,13 +178,20 @@ class ResultStore:
             return []
         try:
             with path.open() as fh:
-                payload = json.load(fh)
+                text = fh.read()
+        except OSError as exc:
+            raise ValueError(f"store index {path} is unreadable: {exc}") from exc
+        if not text.strip():
+            # An empty (or whitespace-only) index is an initialized-but-empty
+            # store — e.g. a touched index.json — not corruption; callers like
+            # `repro store list` / `repro trajectory` should see "no records".
+            return []
+        try:
+            payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ValueError(
                 f"store index {path} is corrupt (not valid JSON: {exc})"
             ) from exc
-        except OSError as exc:
-            raise ValueError(f"store index {path} is unreadable: {exc}") from exc
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != INDEX_SCHEMA

@@ -479,3 +479,71 @@ class TestEwmaEta:
                              clock=lambda: next(ticks))
         prog.job_done(_outcome(0, dur=1.0))
         assert "straggler" not in stream.getvalue()
+
+
+class TestStragglerSettledOrdering:
+    """Satellite: straggler scans must settle outcomes before aging starts,
+    regardless of which channel file a record landed in, and the wall clock
+    used for ages is injectable for deterministic tests."""
+
+    @staticmethod
+    def _prog(tmp_path, stream, wall):
+        ticks = iter([0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        return SweepProgress(5, stream=stream, bus=str(tmp_path),
+                             clock=lambda: next(ticks), wall=wall)
+
+    def test_injected_wall_clock_is_deterministic(self, tmp_path):
+        (tmp_path / "bus-1.jsonl").write_text(
+            json.dumps({"t": "job_start", "sweep": "s", "job": 7,
+                        "key": "slowpoke", "pid": 1, "ts": 100.0}) + "\n"
+        )
+        stream = io.StringIO()
+        prog = self._prog(tmp_path, stream, wall=lambda: 200.0)
+        prog.job_done(_outcome(0, dur=1.0))  # threshold 3s, age 100s
+        assert "straggler" in stream.getvalue()
+
+        stream2 = io.StringIO()
+        prog2 = self._prog(tmp_path, stream2, wall=lambda: 101.0)
+        prog2.job_done(_outcome(0, dur=1.0))  # age 1s < threshold
+        assert "straggler" not in stream2.getvalue()
+
+    def test_outcome_before_start_in_file_order_settles(self, tmp_path):
+        # The parent's outcome channel (bus-0) is read before the worker
+        # channel (bus-1), but the worker's job_start carries the earlier
+        # timestamp.  Batch processing must order by ts, not file order,
+        # so the settled job never re-enters the in-flight set.
+        (tmp_path / "bus-0.jsonl").write_text(
+            json.dumps({"t": "outcome", "sweep": "s", "job": 7,
+                        "key": "late-flush", "ok": True,
+                        "ts": 105.0}) + "\n"
+        )
+        (tmp_path / "bus-1.jsonl").write_text(
+            json.dumps({"t": "job_start", "sweep": "s", "job": 7,
+                        "key": "late-flush", "pid": 1, "ts": 100.0}) + "\n"
+        )
+        stream = io.StringIO()
+        prog = self._prog(tmp_path, stream, wall=lambda: 500.0)
+        prog.job_done(_outcome(0, dur=1.0))
+        assert prog._inflight == {}
+        assert "straggler" not in stream.getvalue()
+
+    def test_settled_set_survives_across_batches(self, tmp_path):
+        # Batch 1 delivers only the outcome; the worker's job_start is
+        # flushed late and arrives in batch 2.  The persistent settled set
+        # must stop it resurrecting as an in-flight straggler.
+        (tmp_path / "bus-0.jsonl").write_text(
+            json.dumps({"t": "outcome", "sweep": "s", "job": 7,
+                        "key": "zombie", "ok": True, "ts": 105.0}) + "\n"
+        )
+        stream = io.StringIO()
+        prog = self._prog(tmp_path, stream, wall=lambda: 500.0)
+        prog.job_done(_outcome(0, dur=1.0))  # batch 1: settles job 7
+        assert ("s", 7) in prog._settled
+
+        with (tmp_path / "bus-1.jsonl").open("a") as fh:
+            fh.write(json.dumps({"t": "job_start", "sweep": "s", "job": 7,
+                                 "key": "zombie", "pid": 1,
+                                 "ts": 100.0}) + "\n")
+        prog.job_done(_outcome(1, dur=1.0))  # batch 2: stale start replay
+        assert prog._inflight == {}
+        assert "straggler" not in stream.getvalue()

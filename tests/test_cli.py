@@ -546,3 +546,80 @@ def test_fig3_store_recording_end_to_end(tmp_path, capsys):
     store = ResultStore(store_dir)
     a, b = (e["record_id"] for e in store.index())
     assert a == b
+
+
+class TestEmptyInitializedStore:
+    """An empty-but-initialized store dir (e.g. a touched index.json) is
+    "no records", not an error: friendly line, exit 0."""
+
+    @staticmethod
+    def _empty_store(tmp_path):
+        store = tmp_path / "store"
+        (store / "records").mkdir(parents=True)
+        (store / "index.json").touch()  # zero bytes: initialized, empty
+        return str(store)
+
+    def test_store_list_empty_initialized(self, tmp_path, capsys):
+        store = self._empty_store(tmp_path)
+        assert main(["store", "list", "--store", store]) == 0
+        assert "holds no recordings" in capsys.readouterr().out
+
+    def test_trajectory_empty_initialized(self, tmp_path, capsys):
+        store = self._empty_store(tmp_path)
+        assert main(["trajectory", "--store", store]) == 0
+        assert "holds no recordings" in capsys.readouterr().out
+
+    def test_corrupt_index_still_one_line_error(self, tmp_path):
+        store = tmp_path / "store"
+        (store / "records").mkdir(parents=True)
+        (store / "index.json").write_text("{this is not json")
+        with pytest.raises(SystemExit, match="corrupt"):
+            main(["store", "list", "--store", str(store)])
+
+
+class TestServeSubmitParsers:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--state-dir", "/tmp/s"])
+        assert args.policy == "fair" and args.port == 0
+        assert args.jobs == 1 and not args.allow_chaos
+
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_parser_builds_specs(self):
+        from repro.cli import _build_submission
+
+        args = build_parser().parse_args(
+            ["submit", "SD", "SB", "--cycles", "24000", "--tenant", "a"]
+        )
+        kind, spec = _build_submission(args)
+        assert kind == "workload"
+        assert spec["apps"] == ["SD", "SB"] and spec["cycles"] == 24000
+
+        args = build_parser().parse_args(
+            ["submit", "--workloads", "SD+SB,NN+VA"]
+        )
+        kind, spec = _build_submission(args)
+        assert kind == "sweep"
+        assert spec["workloads"] == [["SD", "SB"], ["NN", "VA"]]
+
+        args = build_parser().parse_args(["submit", "--scenario", "fig2"])
+        kind, spec = _build_submission(args)
+        assert kind == "scenario" and spec["name"] == "fig2"
+
+        args = build_parser().parse_args(["submit", "--scenario", "ab12cd34"])
+        kind, spec = _build_submission(args)
+        assert kind == "scenario" and spec["id"] == "ab12cd34"
+
+    def test_submit_requires_exactly_one_target(self):
+        args = build_parser().parse_args(["submit"])
+        from repro.cli import _build_submission
+
+        with pytest.raises(SystemExit, match="exactly one"):
+            _build_submission(args)
+        args = build_parser().parse_args(
+            ["submit", "SD", "--scenario", "fig2"]
+        )
+        with pytest.raises(SystemExit, match="exactly one"):
+            _build_submission(args)

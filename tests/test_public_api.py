@@ -48,8 +48,14 @@ def test_top_level_exports():
         "repro.harness",
         "repro.harness.runner",
         "repro.harness.experiments",
+        "repro.harness.figures",
         "repro.harness.report",
         "repro.obs.bus",
+        "repro.service",
+        "repro.service.protocol",
+        "repro.service.queue",
+        "repro.service.daemon",
+        "repro.service.client",
         "repro.store",
         "repro.store.records",
         "repro.store.registry",

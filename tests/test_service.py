@@ -1,0 +1,523 @@
+"""Simulation-as-a-service: protocol, queue fairness, dedup, resume.
+
+Four layers, cheapest first:
+
+* **Protocol** — :func:`repro.service.protocol.parse_submit` normalization
+  and the dedup fingerprint (pure functions, no daemon).
+* **Admission queue** — the fairness policy driven with simulated time:
+  the adversarial flooder/trickler scenario the ISSUE pins (fair must
+  beat FIFO on max/min tenant slowdown) and a hypothesis no-starvation
+  property.
+* **HTTP round trips** — one in-process daemon shared by the module:
+  submit/status/stream/cancel goldens (tests/golden/service_protocol.json),
+  dedup across tenants, error behaviour for misbehaving clients.
+* **Durability/equivalence** — a kill -9'd daemon subprocess resuming its
+  sweep from the checkpoint on restart, and the equivalence gate: a
+  scenario served by the daemon records the byte-identical record id the
+  direct ``repro fig2 --store`` path records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.service import (
+    AdmissionQueue,
+    ReproService,
+    ServiceClient,
+    ServiceError,
+    parse_submit,
+    request_fingerprint,
+)
+from repro.service.daemon import ENDPOINT_FILE, TERMINAL
+from repro.store import ResultStore, scenario_for
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "service_protocol.json"
+
+
+# ---------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    def test_fingerprint_excludes_tenant(self):
+        a = parse_submit({"tenant": "a", "kind": "workload",
+                          "spec": {"apps": ["SD", "SB"]}})
+        b = parse_submit({"tenant": "b", "kind": "workload",
+                          "spec": {"apps": ["SD", "SB"]}})
+        assert a.job_id == b.job_id
+
+    def test_fingerprint_normalizes_spelled_out_defaults(self):
+        # Same question, defaults omitted vs spelled out: one job.
+        terse = parse_submit({"kind": "workload",
+                              "spec": {"apps": ["SD", "SB"]}})
+        verbose = parse_submit({"kind": "workload",
+                                "spec": {"apps": ["SD", "SB"], "cycles": None,
+                                         "seed": None, "policy": None,
+                                         "backend": None}})
+        assert terse.job_id == verbose.job_id
+        assert terse.job_id == request_fingerprint("workload", terse.spec)
+
+    def test_distinct_specs_distinct_jobs(self):
+        a = parse_submit({"kind": "workload",
+                          "spec": {"apps": ["SD", "SB"]}})
+        b = parse_submit({"kind": "workload",
+                          "spec": {"apps": ["SD", "SB"], "cycles": 1000}})
+        assert a.job_id != b.job_id
+
+    @pytest.mark.parametrize("payload, needle", [
+        ({"kind": "nope", "spec": {}}, "unknown kind"),
+        ({"kind": "workload", "spec": {"apps": ["NOPE"]}}, "unknown app"),
+        ({"kind": "workload", "spec": {"apps": []}}, "non-empty"),
+        ({"kind": "sweep", "spec": {"workloads": "SD"}}, "non-empty list"),
+        ({"kind": "scenario", "spec": {}}, "registered name or a scenario"),
+        ({"kind": "scenario", "spec": {"id": "xyz"}}, "hex"),
+        ({"kind": "scenario", "spec": {"name": "fig3",
+                                       "params": {"jobs": 4}}},
+         "unsupported scenario param"),
+        ({"kind": "workload", "spec": {"apps": ["SD"]},
+          "schema": "other/9"}, "unsupported schema"),
+        ({"kind": "workload", "spec": {"apps": ["SD"]}, "tenant": ""},
+         "tenant"),
+        ({"kind": "chaos", "spec": {"jobs": [{"mode": "ok"}]}},
+         "chaos submissions are disabled"),
+        ({"kind": "chaos", "spec": {"jobs": [{"mode": "hang"}]}},
+         "hang is not servable"),
+    ])
+    def test_validation_is_one_line(self, payload, needle):
+        allow = payload.get("kind") == "chaos" and "hang" in str(payload)
+        with pytest.raises(ValueError) as err:
+            parse_submit(payload, allow_chaos=allow)
+        msg = str(err.value)
+        assert needle in msg and "\n" not in msg
+
+
+# ----------------------------------------------------------- fairness queue
+
+
+def _drain_adversarial(policy: str, *, n_flood: int = 20,
+                       est: float = 1.0) -> dict:
+    """The pinned adversarial load: a flooder dumps ``n_flood`` requests at
+    t=0, a trickler submits one at t=0.5, service takes ``est`` seconds."""
+    q = AdmissionQueue(policy, default_est_s=est)
+    for i in range(n_flood):
+        q.submit("flooder", f"f{i}", est_s=est, now=0.0)
+    q.submit("trickler", "t0", est_s=est, now=0.5)
+    now = 0.5
+    while len(q):
+        req = q.next(now=now)
+        now += est
+        q.complete(req, now=now)
+    fair = q.fairness(now=now)
+    fair["audit_total"] = q.audit.total
+    fair["metrics"] = q.registry.snapshot()
+    return fair
+
+
+class TestAdmissionQueue:
+    def test_adversarial_fair_beats_fifo(self):
+        # The ISSUE's acceptance gate: under flooder + trickler, the fair
+        # policy's max/min tenant slowdown is strictly lower than FIFO's.
+        fair = _drain_adversarial("fair")
+        fifo = _drain_adversarial("fifo")
+        assert fair["unfairness"] < fifo["unfairness"]
+        # And not marginally: FIFO makes the trickler wait out the whole
+        # flood (slowdown ~ n_flood) while fair admits it within a couple
+        # of grants.
+        assert fifo["unfairness"] > 10.0
+        assert fair["unfairness"] < 2.0
+        assert fair["tenants"]["trickler"] < fifo["tenants"]["trickler"]
+
+    def test_uncontended_tenant_scores_one(self):
+        q = AdmissionQueue("fair", default_est_s=5.0)
+        q.submit("solo", "j1", now=0.0)
+        req = q.next(now=0.0)
+        q.complete(req, now=2.0)  # actual service 2s, nobody else around
+        assert q.tenant_slowdowns(now=2.0)["solo"] == pytest.approx(1.0)
+
+    def test_own_backlog_is_not_unfairness(self):
+        # A tenant queueing behind itself would have queued alone too.
+        q = AdmissionQueue("fair", default_est_s=1.0)
+        for i in range(5):
+            q.submit("hog", f"j{i}", est_s=1.0, now=0.0)
+        now = 0.0
+        while len(q):
+            req = q.next(now=now)
+            now += 1.0
+            q.complete(req, now=now)
+        assert q.tenant_slowdowns(now=now)["hog"] == pytest.approx(1.0)
+        assert q.fairness(now=now)["unfairness"] == pytest.approx(1.0)
+
+    def test_audit_records_every_decision(self):
+        fair = _drain_adversarial("fair")
+        assert fair["audit_total"] == 21
+        q = AdmissionQueue("fair")
+        q.submit("a", "j1", now=0.0)
+        q.submit("b", "j2", now=0.0)
+        q.next(now=1.0)
+        decision = q.audit.to_dict()["decisions"][-1]
+        assert decision["policy"] == "fair"
+        assert set(decision["candidates"]) == {"a", "b"}
+        assert decision["chosen"]["tenant"] in {"a", "b"}
+
+    def test_fairness_metrics_exported_to_registry(self):
+        fair = _drain_adversarial("fair")
+        metrics = fair["metrics"]
+        assert metrics["service.queue.unfairness"]["value"] == pytest.approx(
+            fair["unfairness"], rel=1e-4)
+        assert 0.0 < metrics["service.queue.jains_index"]["value"] <= 1.0
+        assert metrics["service.queue.completed"]["value"] == 21
+        assert metrics["service.queue.wait_s"]["count"] == 21
+
+    def test_snapshot_shape(self):
+        q = AdmissionQueue("fair")
+        q.submit("a", "j1", now=0.0)
+        snap = q.snapshot(now=1.0)
+        assert snap["schema"] == "repro.service.queue/1"
+        assert snap["pending"] == {"a": 1}
+        assert snap["audit"]["schema"] == "repro.service.queue-audit/1"
+        assert set(snap["fairness"]) >= {"unfairness", "jains_index",
+                                         "gini_wait", "p95_wait_s"}
+
+    def test_cancel_removes_pending(self):
+        q = AdmissionQueue("fair")
+        r1 = q.submit("a", "j1", now=0.0)
+        q.submit("a", "j2", now=0.0)
+        assert q.cancel(r1.rid) is r1
+        assert q.cancel(r1.rid) is None
+        assert len(q) == 1
+        assert q.next(now=1.0).job_id == "j2"
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_flooders=st.integers(min_value=1, max_value=5),
+        backlog=st.integers(min_value=1, max_value=10),
+        est=st.floats(min_value=0.1, max_value=10.0),
+        refill=st.lists(st.booleans(), min_size=0, max_size=40),
+    )
+    def test_no_starvation_property(self, n_flooders, backlog, est, refill):
+        # However hard flooders push, a tenant's pending head is overtaken
+        # at most once per competing head plus the work already pending at
+        # submission time — it is always served.
+        q = AdmissionQueue("fair", default_est_s=est)
+        now, jid = 0.0, 0
+        for f in range(n_flooders):
+            for _ in range(backlog):
+                q.submit(f"f{f}", f"j{jid}", est_s=est, now=now)
+                jid += 1
+        pending_before = len(q)
+        q.submit("trickler", "target", est_s=est, now=now)
+        overtakes = 0
+        refills = iter(refill + [True] * 1000)  # keep the pressure on
+        while True:
+            req = q.next(now=now)
+            if req.tenant == "trickler":
+                break
+            overtakes += 1
+            now += est
+            q.complete(req, now=now)
+            for f in range(n_flooders):
+                if next(refills):
+                    q.submit(f"f{f}", f"j{jid}", est_s=est, now=now)
+                    jid += 1
+            assert overtakes <= pending_before + n_flooders, "starved"
+        assert overtakes <= pending_before + n_flooders
+
+
+# ------------------------------------------------------------ live daemon
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service")
+    svc = ReproService(
+        root / "state", store_dir=str(root / "store"), policy="fair",
+    )
+    svc.start()
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(state_dir=str(root / "state"), timeout_s=180.0)
+    yield svc, client
+    svc.stop()
+    thread.join(timeout=10.0)
+
+
+def _wait_status(client, job_id, states, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.status(job_id)
+        if status["status"] in states:
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached {states}")
+
+
+class TestHttpRoundTrip:
+    def test_protocol_golden_round_trip(self, daemon):
+        _, client = daemon
+        golden = json.loads(GOLDEN.read_text())
+        spec = {"apps": ["SD", "SB"], "cycles": 20000}
+
+        receipt = client.submit("workload", spec, tenant="alice")
+        job_id = receipt["job"]
+        assert {**receipt, "job": "<job>"} == golden["submit"]
+
+        final = client.wait(job_id)
+        resubmit = client.submit("workload", spec, tenant="bob")
+        assert {**resubmit, "job": "<job>"} == golden["resubmit"]
+
+        final = client.status(job_id)
+        assert final["result"]["result"]["names"] == ["SD", "SB"]
+        masked = {**final, "job": "<job>", "result": "<result>"}
+        assert masked == golden["status"]
+
+        events = list(client.stream(job_id))
+        assert [e["event"] for e in events] == golden["events"]
+        assert events[0]["deduped"] is False
+        assert events[-1]["deduped"] is True  # bob's subscription
+        done = [e for e in events if e["event"] == "done"][0]
+        assert done["job"] == job_id and done["error"] is None
+
+    def test_cancel_round_trip_golden(self, daemon):
+        _, client = daemon
+        golden = json.loads(GOLDEN.read_text())
+        # A blocker occupies the single scheduler thread long enough for
+        # the target to still be queued when the cancel lands.
+        blocker = client.submit(
+            "workload", {"apps": ["NN", "VA"], "cycles": 120000},
+            tenant="alice",
+        )
+        _wait_status(client, blocker["job"], ("running", "done"))
+        target = client.submit(
+            "workload", {"apps": ["BS", "AA"], "cycles": 120001},
+            tenant="bob",
+        )
+        receipt = client.cancel(target["job"])
+        assert {**receipt, "job": "<job>"} == golden["cancel"]
+        assert client.status(target["job"])["status"] == "cancelled"
+        # Re-cancelling reports the same terminal state, not an error.
+        again = client.cancel(target["job"])
+        assert again["status"] == "cancelled"
+        # Cancelling a finished job is a no-op.
+        final = client.wait(blocker["job"])
+        assert final["status"] == "done"
+        noop = client.cancel(blocker["job"])
+        assert noop["cancelled"] is False and noop["status"] == "done"
+
+    def test_resubmit_after_cancel_is_fresh(self, tmp_path):
+        # Pure submission semantics: no scheduler thread, jobs stay queued.
+        svc = ReproService(tmp_path / "state")
+        req = parse_submit({"tenant": "a", "kind": "workload",
+                            "spec": {"apps": ["SD"], "cycles": 999}})
+        first = svc.submit(req)
+        assert first["deduped"] is False
+        assert svc.submit(req)["deduped"] is True  # still queued: dedup
+        svc.cancel(first["job"])
+        assert svc.jobs[first["job"]].state == "cancelled"
+        fresh = svc.submit(req)
+        assert fresh["deduped"] is False  # cancelled → a new attempt
+
+    def test_misbehaving_clients_get_one_line_errors(self, daemon):
+        svc, client = daemon
+        with pytest.raises(ServiceError) as err:
+            client.submit("workload", {"apps": ["NOPE"]})
+        assert err.value.status == 400 and "unknown app" in err.value.message
+        with pytest.raises(ServiceError) as err:
+            client.status("feedbeef")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.cancel("feedbeef")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v1/nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.submit("chaos", {"jobs": [{"mode": "ok"}]})
+        assert err.value.status == 400
+        assert "chaos submissions are disabled" in err.value.message
+        # The daemon survived all of it.
+        assert client.health()["ok"] is True
+
+    def test_raw_malformed_bodies(self, daemon):
+        import urllib.error
+        import urllib.request
+
+        svc, _ = daemon
+        req = urllib.request.Request(
+            svc.url + "/v1/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        body = json.loads(err.value.read().decode())
+        assert "bad JSON" in body["error"]
+
+    def test_scenario_catalog_lists_registry(self, daemon):
+        _, client = daemon
+        rows = client.scenarios()
+        names = {r["name"] for r in rows}
+        assert {"fig2", "fig3", "fig5"} <= names
+        assert all(len(r["scenario_id"]) == 64 for r in rows)
+
+    def test_queue_endpoint_exposes_fairness_and_audit(self, daemon):
+        _, client = daemon
+        snap = client.queue()
+        assert snap["schema"] == "repro.service.queue/1"
+        assert snap["policy"] == "fair"
+        assert snap["audit"]["total"] >= 1
+        assert snap["fairness"]["unfairness"] is not None
+        assert 0.0 < snap["fairness"]["jains_index"] <= 1.0
+
+    def test_report_covers_served_jobs(self, daemon):
+        _, client = daemon
+        report = client.report()
+        assert report["n_jobs"] >= 1
+        assert report["ok"] >= 1
+
+
+@pytest.mark.slow
+class TestScenarioDedup:
+    def test_same_scenario_same_seed_runs_once(self, daemon):
+        svc, client = daemon
+        spec = {"name": "fig3"}
+        first = client.submit("scenario", spec, tenant="alice")
+        second = client.submit("scenario", spec, tenant="bob")
+        assert first["job"] == second["job"]
+        final = client.wait(first["job"])
+        assert final["status"] == "done"
+        assert final["simulations"] == 1  # one simulation, two subscribers
+        assert sorted(final["tenants"]) == ["alice", "bob"]
+        assert final["record_id"] is not None
+        # Both subscribers see the identical record id in the event stream.
+        done = [e for e in client.stream(first["job"])
+                if e["event"] == "done"]
+        assert done[0]["record_id"] == final["record_id"]
+        # Exactly one fig3 recording landed in the store.
+        store = ResultStore(svc.store_dir)
+        fig3 = [e for e in store.index()
+                if e["scenario_name"] == "fig3"]
+        assert len(fig3) == 1
+        assert fig3[0]["record_id"] == final["record_id"]
+
+
+@pytest.mark.slow
+class TestEquivalenceGate:
+    def test_served_scenario_record_id_matches_direct_cli(
+        self, daemon, tmp_path, capsys
+    ):
+        # The acceptance gate: fig2 through the daemon records the same
+        # record id as `repro fig2 --store` run directly.  The daemon's
+        # replay cache is shared so the alone-runs are computed once.
+        svc, client = daemon
+        direct = tmp_path / "direct-store"
+        assert main(["fig2", "--store", str(direct),
+                     "--cache-dir", svc.cache_dir]) == 0
+        capsys.readouterr()
+        direct_index = ResultStore(direct).index()
+        assert len(direct_index) == 1
+
+        sid = scenario_for("fig2").scenario_id()
+        receipt = client.submit("scenario", {"id": sid[:16]}, tenant="alice")
+        final = client.wait(receipt["job"])
+        assert final["status"] == "done", final["error"]
+        assert final["scenario_id"] == sid
+        assert final["record_id"] == direct_index[0]["record_id"]
+        assert final["scenario_id"] == direct_index[0]["scenario_id"]
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def _spawn(self, state_dir, store_dir):
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--state-dir", str(state_dir), "--store", str(store_dir)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    @staticmethod
+    def _wait_health(state_dir, *, not_pid=None, timeout_s=30.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                client = ServiceClient(state_dir=str(state_dir),
+                                       timeout_s=5.0)
+                health = client.health()
+                if health["ok"] and health["pid"] != not_pid:
+                    return client, health["pid"]
+            except (ServiceError, ValueError, OSError):
+                pass
+            time.sleep(0.1)
+        raise AssertionError("daemon never became healthy")
+
+    def test_kill_dash_nine_resumes_sweep_from_checkpoint(self, tmp_path):
+        state = tmp_path / "state"
+        store = tmp_path / "store"
+        proc = self._spawn(state, store)
+        try:
+            client, pid = self._wait_health(state)
+            spec = {
+                "workloads": [["SD", "SB"], ["NN", "VA"], ["BS", "AA"],
+                              ["SC", "SD"]],
+                "cycles": 60000,
+            }
+            receipt = client.submit("sweep", spec, tenant="alice")
+            job_id = receipt["job"]
+            # Wait for at least one sub-job to land in the sweep checkpoint,
+            # then kill -9 mid-sweep.
+            ckpt = state / "ckpt"
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                lines = sum(
+                    len(p.read_text().splitlines())
+                    for p in ckpt.glob("sweep-*.jsonl")
+                )
+                if lines >= 1:
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("no checkpoint progress before kill")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        proc = self._spawn(state, store)
+        try:
+            client, _ = self._wait_health(state, not_pid=pid)
+            # The journal re-enqueued the interrupted sweep on startup.
+            final = client.wait(job_id, timeout_s=120.0)
+            assert final["status"] == "done", final["error"]
+            outcomes = final["result"]["outcomes"]
+            assert [o["key"] for o in outcomes] == [
+                "SD+SB", "NN+VA", "BS+AA", "SC+SD"
+            ]
+            assert all(o["ok"] for o in outcomes)
+            # At least the checkpointed sub-job came back from disk, not
+            # from a re-run.
+            assert any(o["resumed"] for o in outcomes)
+        finally:
+            try:
+                client.shutdown()
+                proc.wait(timeout=10)
+            except Exception:
+                proc.kill()
+                proc.wait(timeout=10)
